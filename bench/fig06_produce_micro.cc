@@ -1,0 +1,145 @@
+// Figure 6: aggregated write goodput of the RDMA produce approaches
+// (exclusive WriteWithImm; shared with FAA for 1/2/5 producers; shared with
+// CAS for 1/5 producers) with increasing message size — the raw-verbs upper
+// bound the paper uses to choose FAA over CAS (§4.2.2).
+#include "bench/microbench_util.h"
+
+namespace kafkadirect {
+namespace bench {
+namespace {
+
+enum class Mode { kExclusive, kSharedFaa, kSharedCas };
+
+// Exclusive: one producer pipelines WriteWithImm back to back.
+sim::Co<void> ExclusiveWriter(MicroRig* rig, MicroClient* client, uint64_t n) {
+  uint64_t pos = 0;
+  for (uint64_t i = 0; i < n; i++) {
+    if (pos + client->payload.size() > rig->buffer_size()) pos = 0;
+    rdma::WorkRequest wr;
+    wr.opcode = rdma::Opcode::kWriteWithImm;
+    wr.local_addr = client->payload.data();
+    wr.length = static_cast<uint32_t>(client->payload.size());
+    wr.remote_addr = rig->buffer_addr() + pos;
+    wr.rkey = rig->buffer_rkey();
+    wr.imm_data = kd::EncodeImm(static_cast<uint16_t>(i), 1);
+    pos += client->payload.size();
+    while (true) {
+      Status st = client->qp->PostSend(wr);
+      if (st.ok()) break;
+      co_await sim::Delay(rig->sim(), 500);  // send queue full
+    }
+    // Let completions drain between bursts.
+    if (i % 64 == 63) co_await sim::Delay(rig->sim(), 0);
+  }
+}
+
+// Shared: each produce claims a region with an atomic, then writes.
+sim::Co<void> SharedWriter(MicroRig* rig, MicroClient* client, Mode mode,
+                           uint64_t n, int* done) {
+  std::vector<uint8_t> result(8, 0);
+  uint64_t local_view = 0;  // CAS: last observed word
+  for (uint64_t i = 0; i < n; i++) {
+    uint64_t size = client->payload.size();
+    uint64_t claimed_pos = 0;
+    while (true) {
+      rdma::WorkRequest atomic_wr;
+      atomic_wr.local_addr = result.data();
+      atomic_wr.remote_addr = rig->atomic_addr();
+      atomic_wr.rkey = rig->atomic_rkey();
+      if (mode == Mode::kSharedFaa) {
+        atomic_wr.opcode = rdma::Opcode::kFetchAdd;
+        atomic_wr.compare_add = kd::FaaClaim(size);
+      } else {
+        atomic_wr.opcode = rdma::Opcode::kCompSwap;
+        atomic_wr.compare_add = local_view;
+        atomic_wr.swap = local_view + kd::FaaClaim(size);
+      }
+      while (!client->qp->PostSend(atomic_wr).ok()) {
+        co_await sim::Delay(rig->sim(), 500);
+      }
+      auto wc = co_await client->cq->Next();
+      KD_CHECK(wc.has_value() && wc->ok());
+      uint64_t old = DecodeFixed64(result.data());
+      if (atomic_wr.opcode == rdma::Opcode::kFetchAdd) {
+        claimed_pos = kd::AtomicOffset(old);
+        break;
+      }
+      if (old == local_view) {  // CAS succeeded
+        claimed_pos = kd::AtomicOffset(old);
+        local_view = old + kd::FaaClaim(size);
+        break;
+      }
+      local_view = old;  // CAS failed: retry with the observed value
+    }
+    claimed_pos %= (rig->buffer_size() - size);
+    rdma::WorkRequest wr;
+    wr.opcode = rdma::Opcode::kWriteWithImm;
+    wr.local_addr = client->payload.data();
+    wr.length = static_cast<uint32_t>(size);
+    wr.remote_addr = rig->buffer_addr() + claimed_pos;
+    wr.rkey = rig->buffer_rkey();
+    wr.imm_data = kd::EncodeImm(kd::AtomicOrder(DecodeFixed64(result.data())),
+                                1);
+    while (!client->qp->PostSend(wr).ok()) {
+      co_await sim::Delay(rig->sim(), 500);
+    }
+    auto write_wc = co_await client->cq->Next();
+    KD_CHECK(write_wc.has_value() && write_wc->ok());
+  }
+  (*done)++;
+}
+
+double RunPoint(Mode mode, int producers, size_t size) {
+  MicroRig rig;
+  uint64_t per_producer =
+      std::max<uint64_t>(200, std::min<uint64_t>(4000, (8 * kMiB) / size));
+  std::vector<MicroClient> clients;
+  clients.reserve(producers);
+  for (int p = 0; p < producers; p++) {
+    clients.push_back(rig.AddClient(size));
+  }
+  int done = 0;
+  for (int p = 0; p < producers; p++) {
+    if (mode == Mode::kExclusive) {
+      sim::Spawn(rig.sim(), ExclusiveWriter(&rig, &clients[p], per_producer));
+      sim::Spawn(rig.sim(),
+                 MicroRig::Drain(&clients[p], per_producer, &done));
+    } else {
+      sim::Spawn(rig.sim(),
+                 SharedWriter(&rig, &clients[p], mode, per_producer, &done));
+    }
+  }
+  rig.sim().RunUntilDone([&]() { return done >= producers; }, Seconds(600));
+  KD_CHECK(done >= producers);
+  double total = static_cast<double>(size) * per_producer * producers;
+  return RateGiBps(total, static_cast<double>(rig.sim().Now()));
+}
+
+void Run() {
+  using harness::Cell;
+  harness::PrintFigureHeader(
+      "Figure 6", "Aggregated RDMA produce goodput (GiB/s) vs message size",
+      {"size", "Excl-1p", "FAA-1p", "FAA-2p", "FAA-5p", "CAS-1p", "CAS-5p"});
+  for (size_t size = 64; size <= 256 * kKiB; size *= 4) {
+    harness::PrintRow({FormatSize(size),
+                       Cell(RunPoint(Mode::kExclusive, 1, size), 2),
+                       Cell(RunPoint(Mode::kSharedFaa, 1, size), 2),
+                       Cell(RunPoint(Mode::kSharedFaa, 2, size), 2),
+                       Cell(RunPoint(Mode::kSharedFaa, 5, size), 2),
+                       Cell(RunPoint(Mode::kSharedCas, 1, size), 2),
+                       Cell(RunPoint(Mode::kSharedCas, 5, size), 2)});
+  }
+  std::printf(
+      "\nPaper: exclusive highest everywhere; FAA > CAS; shared modes reach\n"
+      "the exclusive curve only for records >= ~32 KiB (atomics capped at\n"
+      "2.68 M ops/s on one counter).\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace kafkadirect
+
+int main() {
+  kafkadirect::bench::Run();
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Figure 8: latency and goodput of batching 64-byte RDMA Writes into larger
+// writes — the microbenchmark behind the replication module's 1 KiB default
+// batch size (§4.3.2). Emulates an overloaded leader: 64-byte entries are
+// always available, so every posted write carries a full batch.
+#include <map>
+
+#include "bench/microbench_util.h"
+
+namespace kafkadirect {
+namespace bench {
+namespace {
+
+struct Point {
+  double latency_us = 0.0;
+  double goodput_gibps = 0.0;
+};
+
+Point RunPoint(size_t batch_bytes) {
+  MicroRig rig;
+  MicroClient client = rig.AddClient(batch_bytes);
+  uint64_t n = std::max<uint64_t>(1000, (32 * kMiB) / batch_bytes);
+  int done = 0;
+  Histogram latency;
+  auto writer = [](MicroRig* rig, MicroClient* client, uint64_t n,
+                   Histogram* latency, int* done) -> sim::Co<void> {
+    uint64_t posted = 0, completed = 0, pos = 0;
+    std::map<uint64_t, sim::TimeNs> post_time;
+    while (completed < n) {
+      while (posted < n && posted - completed < 16) {
+        rdma::WorkRequest wr;
+        wr.wr_id = posted;
+        wr.opcode = rdma::Opcode::kWriteWithImm;
+        wr.local_addr = client->payload.data();
+        wr.length = static_cast<uint32_t>(client->payload.size());
+        if (pos + wr.length > rig->buffer_size()) pos = 0;
+        wr.remote_addr = rig->buffer_addr() + pos;
+        pos += wr.length;
+        wr.rkey = rig->buffer_rkey();
+        wr.imm_data = static_cast<uint32_t>(posted);
+        if (!client->qp->PostSend(wr).ok()) break;
+        post_time[posted] = rig->sim().Now();
+        posted++;
+      }
+      auto wc = co_await client->cq->Next();
+      KD_CHECK(wc.has_value() && wc->ok());
+      latency->Add(rig->sim().Now() - post_time[wc->wr_id]);
+      post_time.erase(wc->wr_id);
+      completed++;
+    }
+    (*done)++;
+  };
+  sim::Spawn(rig.sim(), writer(&rig, &client, n, &latency, &done));
+  rig.sim().RunUntilDone([&]() { return done == 1; }, Seconds(600));
+  Point point;
+  point.latency_us = latency.Median() / 1000.0;
+  point.goodput_gibps = RateGiBps(static_cast<double>(batch_bytes) * n,
+                                  static_cast<double>(rig.sim().Now()));
+  return point;
+}
+
+void Run() {
+  using harness::Cell;
+  harness::PrintFigureHeader(
+      "Figure 8", "Batching 64 B writes: replication latency and goodput",
+      {"batch", "latency_us", "GiB/s"});
+  for (size_t batch = 64; batch <= 4 * kKiB; batch *= 2) {
+    Point point = RunPoint(batch);
+    harness::PrintRow({FormatSize(batch), Cell(point.latency_us, 2),
+                       Cell(point.goodput_gibps, 2)});
+  }
+  std::printf(
+      "\nPaper: no batching ~2.4 us latency but only ~0.5 GiB/s; goodput\n"
+      "grows to link rate (~6 GiB/s) with batch size; latency rises sharply\n"
+      "past ~1-2 KiB (the 2 KiB network packet size) — hence the 1 KiB\n"
+      "default batch for the replication module.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace kafkadirect
+
+int main() {
+  kafkadirect::bench::Run();
+  return 0;
+}

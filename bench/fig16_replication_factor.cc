@@ -1,0 +1,53 @@
+// Figure 16: produce goodput of 32 KiB records vs replication factor 1-4
+// (four brokers; factor 1 = leader only).
+#include "harness/harness.h"
+
+namespace kafkadirect {
+namespace bench {
+namespace {
+
+using harness::Cell;
+using harness::SystemKind;
+
+double Point(SystemKind kind, bool rdma_replication, int rf) {
+  harness::DeploymentConfig deploy;
+  deploy.num_brokers = 4;
+  deploy.broker.rdma_produce = true;
+  deploy.broker.rdma_replicate = rdma_replication && rf > 1;
+  harness::TestCluster cluster(deploy);
+  harness::ProduceOptions options;
+  options.record_size = 32 * kKiB;
+  options.records_per_producer = 400;
+  options.max_inflight = kind == SystemKind::kKafka ? 5 : 16;
+  options.acks = -1;
+  options.replication_factor = rf;
+  auto result = harness::RunProduceWorkload(cluster, kind, options);
+  return result.mib_per_sec;
+}
+
+void Run() {
+  harness::PrintFigureHeader(
+      "Figure 16", "Produce goodput (MiB/s), 32 KiB records vs repl factor",
+      {"factor", "Kafka", "RDMA-Prod", "RDMA-Repl", "Prod+Repl"});
+  for (int rf : {1, 2, 3, 4}) {
+    harness::PrintRow({std::to_string(rf),
+                       Cell(Point(SystemKind::kKafka, false, rf)),
+                       Cell(Point(SystemKind::kKdExclusive, false, rf)),
+                       Cell(Point(SystemKind::kKafka, true, rf)),
+                       Cell(Point(SystemKind::kKdExclusive, true, rf))});
+  }
+  std::printf(
+      "\nPaper: RDMA producer 1.5 GiB/s unreplicated, dropping to ~0.5\n"
+      "GiB/s under TCP pull replication; RDMA push replication avoids that\n"
+      "slowdown (14x over Kafka); extra replicas cost little for everyone\n"
+      "(leader-side sendfile / one-sided writes).\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace kafkadirect
+
+int main() {
+  kafkadirect::bench::Run();
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Figure 17: goodput of 32-byte produce requests vs the replication
+// module's maximum batch size, for 2- and 3-way replication. Multiple
+// shared producers flood the TP so commits outpace the replication worker —
+// the regime where opportunistic batching pays (§4.3.2).
+#include "harness/harness.h"
+
+namespace kafkadirect {
+namespace bench {
+namespace {
+
+using harness::Cell;
+using harness::SystemKind;
+
+double Point(int rf, uint64_t max_batch) {
+  harness::DeploymentConfig deploy;
+  deploy.num_brokers = rf;
+  deploy.broker.rdma_produce = true;
+  deploy.broker.rdma_replicate = true;
+  deploy.broker.replication_max_batch_bytes = max_batch;
+  harness::TestCluster cluster(deploy);
+  harness::ProduceOptions options;
+  options.record_size = 32;
+  options.producers = 4;  // flood: arrivals outpace the replication worker
+  options.records_per_producer = 600;
+  options.max_inflight = 16;
+  options.acks = -1;
+  options.replication_factor = rf;
+  auto result =
+      harness::RunProduceWorkload(cluster, SystemKind::kKdShared, options);
+  return result.mib_per_sec;
+}
+
+void Run() {
+  harness::PrintFigureHeader(
+      "Figure 17", "32 B produce goodput (MiB/s) vs replication batch size",
+      {"batch", "2-way", "3-way"});
+  for (uint64_t batch : {32ull, 64ull, 128ull, 256ull, 512ull, 1024ull}) {
+    harness::PrintRow({FormatSize(batch), Cell(Point(2, batch), 2),
+                       Cell(Point(3, batch), 2)});
+  }
+  std::printf(
+      "\nPaper: 3.8 MiB/s with no batching, plateauing at 5.2 MiB/s —\n"
+      "bottlenecked by the API worker committing records, with batching\n"
+      "amortizing the per-write replication overhead.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace kafkadirect
+
+int main() {
+  kafkadirect::bench::Run();
+  return 0;
+}

@@ -1,0 +1,141 @@
+// Figure 19: end-to-end latency — a single client produces one record and
+// then fetches it back; the paper toggles the RDMA produce and consume
+// modules independently (Kafka, OSU, RDMA-Prod, RDMA-Cons, both).
+#include "harness/harness.h"
+#include "sim/awaitable.h"
+
+namespace kafkadirect {
+namespace bench {
+namespace {
+
+using harness::Cell;
+using harness::SystemKind;
+
+struct Config {
+  bool rdma_produce;
+  bool rdma_consume;
+  bool osu;
+};
+
+sim::Co<void> EndToEnd(harness::TestCluster* cluster, Config config,
+                       std::string topic, size_t size, int iterations,
+                       Histogram* latency, bool* done) {
+  kafka::TopicPartitionId tp{topic, 0};
+  net::NodeId node = cluster->AddClientNode("client");
+  kd::KafkaDirectBroker* leader = cluster->Leader(tp);
+  std::string value(size, 'e');
+
+  // Producer side.
+  std::unique_ptr<kafka::TcpProducer> tcp_producer;
+  std::unique_ptr<kd::RdmaProducer> rdma_producer;
+  if (config.rdma_produce) {
+    rdma_producer = std::make_unique<kd::RdmaProducer>(
+        cluster->sim(), cluster->fabric(), cluster->tcp(), node,
+        kd::RdmaProducerConfig{});
+    KD_CHECK_OK(co_await rdma_producer->Connect(leader, tp));
+  } else {
+    tcp_producer = std::make_unique<kafka::TcpProducer>(
+        cluster->sim(), cluster->tcp(), node, kafka::ProducerConfig{});
+    if (config.osu) {
+      auto chan = co_await osu::OsuConnect(
+          cluster->sim(), cluster->fabric(), cluster->ClientRnic(node),
+          leader, cluster->OsuListenerOf(tp));
+      KD_CHECK(chan.ok());
+      KD_CHECK_OK(tcp_producer->ConnectWith(chan.value()));
+    } else {
+      KD_CHECK_OK(co_await tcp_producer->Connect(leader->node()));
+    }
+  }
+
+  // Consumer side.
+  std::unique_ptr<kafka::TcpConsumer> tcp_consumer;
+  std::unique_ptr<kd::RdmaConsumer> rdma_consumer;
+  if (config.rdma_consume) {
+    rdma_consumer = std::make_unique<kd::RdmaConsumer>(
+        cluster->sim(), cluster->fabric(), cluster->tcp(), node);
+    KD_CHECK_OK(co_await rdma_consumer->Connect(leader));
+    KD_CHECK_OK(co_await rdma_consumer->Subscribe(tp, 0));
+  } else {
+    tcp_consumer = std::make_unique<kafka::TcpConsumer>(cluster->sim(),
+                                                        cluster->tcp(), node);
+    if (config.osu) {
+      auto chan = co_await osu::OsuConnect(
+          cluster->sim(), cluster->fabric(), cluster->ClientRnic(node),
+          leader, cluster->OsuListenerOf(tp));
+      KD_CHECK(chan.ok());
+      tcp_consumer->ConnectWith(chan.value());
+    } else {
+      KD_CHECK_OK(co_await tcp_consumer->Connect(leader->node()));
+    }
+  }
+
+  for (int i = 0; i < iterations; i++) {
+    sim::TimeNs start = cluster->sim().Now();
+    if (rdma_producer != nullptr) {
+      KD_CHECK((co_await rdma_producer->Produce(Slice("k", 1),
+                                                Slice(value))).ok());
+    } else {
+      KD_CHECK((co_await tcp_producer->Produce(tp, Slice("k", 1),
+                                               Slice(value))).ok());
+    }
+    size_t got = 0;
+    while (got == 0) {
+      if (rdma_consumer != nullptr) {
+        auto records = co_await rdma_consumer->Poll(tp);
+        KD_CHECK(records.ok());
+        got = records.value().size();
+      } else {
+        auto records = co_await tcp_consumer->Poll(tp);
+        KD_CHECK(records.ok());
+        got = records.value().size();
+      }
+    }
+    latency->Add(cluster->sim().Now() - start);
+  }
+  *done = true;
+}
+
+double Point(Config config, size_t size) {
+  harness::DeploymentConfig deploy;
+  deploy.broker.rdma_produce = true;
+  deploy.broker.rdma_consume = true;
+  harness::TestCluster cluster(deploy);
+  static int topic_id = 0;
+  std::string topic = "e2e-" + std::to_string(topic_id++);
+  KD_CHECK_OK(cluster.CreateTopic(topic, 1, 1));
+  Histogram latency;
+  bool done = false;
+  sim::Spawn(cluster.sim(),
+             EndToEnd(&cluster, config, topic, size, 30, &latency, &done));
+  cluster.RunToFlag(&done);
+  return latency.Median() / 1000.0;
+}
+
+void Run() {
+  harness::PrintFigureHeader(
+      "Figure 19", "End-to-end latency (us, median): produce then fetch",
+      {"size", "Kafka", "OSU-Kafka", "RDMA-Prod", "RDMA-Cons",
+       "Prod+Cons"});
+  for (size_t size : harness::PaperRecordSizes(32, 64 * kKiB)) {
+    harness::PrintRow(
+        {FormatSize(size),
+         Cell(Point({false, false, false}, size)),
+         Cell(Point({false, false, true}, size)),
+         Cell(Point({true, false, false}, size)),
+         Cell(Point({false, true, false}, size)),
+         Cell(Point({true, true, false}, size))});
+  }
+  std::printf(
+      "\nPaper: Kafka ~600 us small; either RDMA module saves >= 200 us;\n"
+      "both modules ~100 us (5.8x reduction) — ~93 us produce + ~7 us RDMA\n"
+      "fetch (4.2 us data + 2.8 us metadata).\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace kafkadirect
+
+int main() {
+  kafkadirect::bench::Run();
+  return 0;
+}

@@ -1,0 +1,83 @@
+// google-benchmark suite for the HOST-side performance of the simulation
+// substrate itself (wall-clock, not virtual time): event-loop dispatch
+// rate, coroutine switch cost, CRC32C throughput, record codec throughput.
+// All paper figures are measured in virtual time by the fig*/tbl_*/abl_*
+// binaries; this binary exists to keep the simulator fast enough that those
+// runs stay cheap.
+#include <benchmark/benchmark.h>
+
+#include "common/crc32c.h"
+#include "kafka/record.h"
+#include "sim/awaitable.h"
+#include "sim/channel.h"
+#include "sim/task.h"
+
+namespace kafkadirect {
+namespace {
+
+void BM_SimulatorDispatch(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    for (int i = 0; i < 1024; i++) {
+      sim.Schedule(i, []() {});
+    }
+    sim.Run();
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_SimulatorDispatch);
+
+sim::Co<void> PingPong(sim::Simulator& sim, sim::Channel<int>& a,
+                       sim::Channel<int>& b, int n) {
+  for (int i = 0; i < n; i++) {
+    a.Push(i);
+    (void)co_await b.Pop();
+  }
+}
+
+sim::Co<void> Echo(sim::Channel<int>& a, sim::Channel<int>& b, int n) {
+  for (int i = 0; i < n; i++) {
+    auto v = co_await a.Pop();
+    b.Push(*v);
+  }
+}
+
+void BM_CoroutineChannelPingPong(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    sim::Channel<int> a(sim), b(sim);
+    sim::Spawn(sim, PingPong(sim, a, b, 512));
+    sim::Spawn(sim, Echo(a, b, 512));
+    sim.Run();
+  }
+  state.SetItemsProcessed(state.iterations() * 512 * 2);
+}
+BENCHMARK(BM_CoroutineChannelPingPong);
+
+void BM_Crc32c(benchmark::State& state) {
+  std::vector<uint8_t> data(state.range(0), 0x5C);
+  uint32_t crc = 0;
+  for (auto _ : state) {
+    crc = crc32c::Extend(crc, data.data(), data.size());
+    benchmark::DoNotOptimize(crc);
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Crc32c)->Arg(256)->Arg(4096)->Arg(65536);
+
+void BM_RecordBatchBuildParse(benchmark::State& state) {
+  std::string value(state.range(0), 'v');
+  for (auto _ : state) {
+    auto bytes = kafka::BuildSingleRecordBatch(42, 1000, Slice("key", 3),
+                                               Slice(value));
+    auto view = kafka::RecordBatchView::Parse(Slice(bytes));
+    benchmark::DoNotOptimize(view.ok());
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RecordBatchBuildParse)->Arg(128)->Arg(4096)->Arg(32768);
+
+}  // namespace
+}  // namespace kafkadirect
+
+BENCHMARK_MAIN();

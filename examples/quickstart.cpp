@@ -1,0 +1,75 @@
+// Quickstart: boot a single-broker KafkaDirect deployment on the simulated
+// RDMA fabric, produce a few records over the zero-copy RDMA produce path,
+// and read them back with the fully-offloaded RDMA consumer.
+//
+//   $ ./build/examples/quickstart
+#include <cstdio>
+
+#include "harness/harness.h"
+#include "sim/awaitable.h"
+
+using namespace kafkadirect;
+
+namespace {
+
+sim::Co<void> Demo(harness::TestCluster* cluster, bool* done) {
+  kafka::TopicPartitionId tp{"events", 0};
+  kd::KafkaDirectBroker* leader = cluster->Leader(tp);
+
+  // --- produce: WriteWithImm straight into the topic's head file ---
+  net::NodeId producer_node = cluster->AddClientNode("producer");
+  kd::RdmaProducer producer(cluster->sim(), cluster->fabric(),
+                            cluster->tcp(), producer_node,
+                            kd::RdmaProducerConfig{.exclusive = true});
+  KD_CHECK_OK(co_await producer.Connect(leader, tp));
+  for (int i = 0; i < 5; i++) {
+    std::string value = "hello-kafkadirect-" + std::to_string(i);
+    auto offset = co_await producer.Produce(Slice("key", 3), Slice(value));
+    KD_CHECK(offset.ok()) << offset.status().ToString();
+    std::printf("produced offset %lld in %.1f us: %s\n",
+                static_cast<long long>(offset.value()),
+                producer.latencies().samples().back() / 1000.0,
+                value.c_str());
+  }
+
+  // --- consume: one-sided RDMA Reads, no broker CPU involved ---
+  net::NodeId consumer_node = cluster->AddClientNode("consumer");
+  kd::RdmaConsumer consumer(cluster->sim(), cluster->fabric(),
+                            cluster->tcp(), consumer_node);
+  KD_CHECK_OK(co_await consumer.Connect(leader));
+  KD_CHECK_OK(co_await consumer.Subscribe(tp, 0));
+  size_t read = 0;
+  while (read < 5) {
+    auto records = co_await consumer.Poll(tp);
+    KD_CHECK(records.ok()) << records.status().ToString();
+    for (const auto& record : records.value()) {
+      std::printf("consumed offset %lld: %s\n",
+                  static_cast<long long>(record.offset),
+                  record.value.c_str());
+      read++;
+    }
+  }
+  std::printf(
+      "\nbroker stats: %llu RDMA produce requests, %llu TCP fetches "
+      "(consume is offloaded), %llu RDMA reads issued by the consumer\n",
+      static_cast<unsigned long long>(leader->stats().rdma_produce_requests),
+      static_cast<unsigned long long>(leader->stats().fetch_requests),
+      static_cast<unsigned long long>(consumer.rdma_reads_issued()));
+  *done = true;
+}
+
+}  // namespace
+
+int main() {
+  harness::DeploymentConfig deploy;
+  deploy.broker.rdma_produce = true;
+  deploy.broker.rdma_consume = true;
+  harness::TestCluster cluster(deploy);
+  KD_CHECK_OK(cluster.CreateTopic("events", 1, 1));
+  bool done = false;
+  sim::Spawn(cluster.sim(), Demo(&cluster, &done));
+  cluster.RunToFlag(&done);
+  std::printf("simulated time elapsed: %.2f ms\n",
+              cluster.sim().Now() / 1e6);
+  return 0;
+}

@@ -1,0 +1,22 @@
+// Software CRC32C (Castagnoli), the checksum Kafka's record batches use.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/slice.h"
+
+namespace kafkadirect {
+namespace crc32c {
+
+/// Extends `crc` with `data`. Pass 0 as the initial crc.
+uint32_t Extend(uint32_t crc, const uint8_t* data, size_t n);
+
+/// CRC32C of a byte range (initial crc 0).
+inline uint32_t Value(const uint8_t* data, size_t n) {
+  return Extend(0, data, n);
+}
+inline uint32_t Value(Slice s) { return Extend(0, s.data(), s.size()); }
+
+}  // namespace crc32c
+}  // namespace kafkadirect

@@ -1,0 +1,55 @@
+#include "common/histogram.h"
+
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+
+namespace kafkadirect {
+
+void Histogram::Sort() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+int64_t Histogram::Min() const {
+  if (samples_.empty()) return 0;
+  Sort();
+  return samples_.front();
+}
+
+int64_t Histogram::Max() const {
+  if (samples_.empty()) return 0;
+  Sort();
+  return samples_.back();
+}
+
+double Histogram::Mean() const {
+  if (samples_.empty()) return 0.0;
+  long double sum = std::accumulate(samples_.begin(), samples_.end(),
+                                    static_cast<long double>(0));
+  return static_cast<double>(sum / samples_.size());
+}
+
+int64_t Histogram::Percentile(double p) const {
+  if (samples_.empty()) return 0;
+  Sort();
+  if (p <= 0) return samples_.front();
+  if (p >= 100) return samples_.back();
+  size_t rank = static_cast<size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(samples_.size())));
+  if (rank == 0) rank = 1;
+  return samples_[rank - 1];
+}
+
+std::string Histogram::SummaryUs() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "count=%zu min=%.1fus p50=%.1fus p99=%.1fus max=%.1fus",
+                count(), Min() / 1e3, Median() / 1e3, Percentile(99) / 1e3,
+                Max() / 1e3);
+  return buf;
+}
+
+}  // namespace kafkadirect

@@ -1,0 +1,55 @@
+// Latency histogram with exact percentiles (stores samples; benches use
+// bounded sample counts so memory stays small).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace kafkadirect {
+
+/// Collects int64 samples (typically nanoseconds) and reports order
+/// statistics. Not thread-safe; the simulator is single-threaded.
+class Histogram {
+ public:
+  void Add(int64_t v) {
+    samples_.push_back(v);
+    sorted_ = false;
+  }
+
+  size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  int64_t Min() const;
+  int64_t Max() const;
+  double Mean() const;
+  /// p in [0, 100]; nearest-rank percentile. Returns 0 on empty.
+  int64_t Percentile(double p) const;
+  int64_t Median() const { return Percentile(50.0); }
+
+  void Clear() {
+    samples_.clear();
+    sorted_ = false;
+  }
+
+  /// One-line summary "count=.. min=.. p50=.. p99=.. max=.." in microseconds
+  /// (input assumed nanoseconds).
+  std::string SummaryUs() const;
+
+  /// Raw samples (unsorted order unspecified); used to merge histograms.
+  const std::vector<int64_t>& samples() const { return samples_; }
+  void Merge(const Histogram& other) {
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.end());
+    sorted_ = false;
+  }
+
+ private:
+  void Sort() const;
+
+  mutable std::vector<int64_t> samples_;
+  mutable bool sorted_ = false;
+};
+
+}  // namespace kafkadirect

@@ -1,0 +1,45 @@
+#include "common/logging.h"
+
+namespace kafkadirect {
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel GetLogLevel() { return g_level; }
+void SetLogLevel(LogLevel level) { g_level = level; }
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  stream_ << "[" << LevelName(level) << " " << file << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  stream_ << "\n";
+  std::cerr << stream_.str();
+}
+
+FatalMessage::FatalMessage(const char* file, int line, const char* expr) {
+  stream_ << "[FATAL " << file << ":" << line << "] Check failed: " << expr
+          << " ";
+}
+
+FatalMessage::~FatalMessage() {
+  stream_ << "\n";
+  std::cerr << stream_.str();
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace kafkadirect

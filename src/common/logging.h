@@ -1,0 +1,68 @@
+// Minimal leveled logging and CHECK macros.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace kafkadirect {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global log threshold; messages below it are dropped. Defaults to kWarn so
+/// tests and benches stay quiet.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+class FatalMessage {
+ public:
+  FatalMessage(const char* file, int line, const char* expr);
+  [[noreturn]] ~FatalMessage();
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define KD_LOG(level)                                              \
+  if (::kafkadirect::LogLevel::level < ::kafkadirect::GetLogLevel()) \
+    ;                                                              \
+  else                                                             \
+    ::kafkadirect::internal::LogMessage(::kafkadirect::LogLevel::level, \
+                                        __FILE__, __LINE__)        \
+        .stream()
+
+// Always-on invariant check; aborts with a message on failure.
+#define KD_CHECK(cond)                                                   \
+  if (cond)                                                              \
+    ;                                                                    \
+  else                                                                   \
+    ::kafkadirect::internal::FatalMessage(__FILE__, __LINE__, #cond).stream()
+
+#define KD_CHECK_OK(expr)                                        \
+  do {                                                           \
+    ::kafkadirect::Status _kd_ck = (expr);                       \
+    KD_CHECK(_kd_ck.ok()) << _kd_ck.ToString();                  \
+  } while (0)
+
+#define KD_DCHECK(cond) KD_CHECK(cond)
+
+}  // namespace kafkadirect

@@ -1,0 +1,53 @@
+// Deterministic PRNG (xorshift128+) so simulations are bit-reproducible.
+#pragma once
+
+#include <cstdint>
+
+namespace kafkadirect {
+
+/// Fast deterministic random generator. Never seeded from wall-clock; all
+/// users pass explicit seeds so runs are reproducible.
+class Random {
+ public:
+  explicit Random(uint64_t seed) {
+    // SplitMix64 to spread the seed over both state words.
+    s_[0] = SplitMix(&seed);
+    s_[1] = SplitMix(&seed);
+  }
+
+  uint64_t Next() {
+    uint64_t x = s_[0];
+    const uint64_t y = s_[1];
+    s_[0] = y;
+    x ^= x << 23;
+    s_[1] = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s_[1] + y;
+  }
+
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  /// Uniform in [lo, hi].
+  uint64_t Range(uint64_t lo, uint64_t hi) {
+    return lo + Uniform(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  bool OneIn(uint64_t n) { return Uniform(n) == 0; }
+
+ private:
+  static uint64_t SplitMix(uint64_t* state) {
+    uint64_t z = (*state += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  uint64_t s_[2];
+};
+
+}  // namespace kafkadirect

@@ -1,0 +1,61 @@
+// Slice: a non-owning view over a byte range, RocksDB-style.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace kafkadirect {
+
+/// Non-owning pointer+length view of raw bytes. The viewed memory must
+/// outlive the Slice.
+class Slice {
+ public:
+  Slice() : data_(nullptr), size_(0) {}
+  Slice(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  Slice(const char* data, size_t size)
+      : data_(reinterpret_cast<const uint8_t*>(data)), size_(size) {}
+  Slice(const std::string& s)  // NOLINT(runtime/explicit)
+      : data_(reinterpret_cast<const uint8_t*>(s.data())), size_(s.size()) {}
+  Slice(const std::vector<uint8_t>& v)  // NOLINT(runtime/explicit)
+      : data_(v.data()), size_(v.size()) {}
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  uint8_t operator[](size_t i) const { return data_[i]; }
+
+  /// Advances the view past the first `n` bytes. `n` must be <= size().
+  void RemovePrefix(size_t n) {
+    data_ += n;
+    size_ -= n;
+  }
+
+  /// A sub-view [offset, offset+len). Caller guarantees bounds.
+  Slice SubSlice(size_t offset, size_t len) const {
+    return Slice(data_ + offset, len);
+  }
+
+  std::string ToString() const {
+    return std::string(reinterpret_cast<const char*>(data_), size_);
+  }
+
+  std::vector<uint8_t> ToVector() const {
+    return std::vector<uint8_t>(data_, data_ + size_);
+  }
+
+  bool operator==(const Slice& other) const {
+    return size_ == other.size_ &&
+           (size_ == 0 || std::memcmp(data_, other.data_, size_) == 0);
+  }
+  bool operator!=(const Slice& other) const { return !(*this == other); }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+};
+
+}  // namespace kafkadirect

@@ -1,0 +1,178 @@
+// Status / StatusOr: exception-free error handling in the style of
+// RocksDB/Arrow. All fallible public APIs in this codebase return Status or
+// StatusOr<T>.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace kafkadirect {
+
+/// Error categories used across the library. Kept small on purpose; the
+/// message carries the detail.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,        // e.g. RDMA access outside a registered region
+  kPermissionDenied,  // e.g. write to a read-only memory region
+  kResourceExhausted, // e.g. CQ overflow, file full
+  kFailedPrecondition,
+  kAborted,           // e.g. shared-produce hole timeout
+  kTimedOut,
+  kCorruption,        // e.g. CRC mismatch
+  kDisconnected,      // e.g. QP in error state, TCP peer gone
+  kUnimplemented,
+  kInternal,
+};
+
+/// Returns a stable human-readable name ("Ok", "Corruption", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// A success-or-error result. Cheap to copy on the OK path (no allocation).
+class Status {
+ public:
+  Status() = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status PermissionDenied(std::string msg) {
+    return Status(StatusCode::kPermissionDenied, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status TimedOut(std::string msg) {
+    return Status(StatusCode::kTimedOut, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Disconnected(std::string msg) {
+    return Status(StatusCode::kDisconnected, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsTimedOut() const { return code_ == StatusCode::kTimedOut; }
+  bool IsAborted() const { return code_ == StatusCode::kAborted; }
+  bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
+  bool IsDisconnected() const { return code_ == StatusCode::kDisconnected; }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
+
+  /// "Ok" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// A value or an error. `status()` is OK iff a value is held.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status) : rep_(std::move(status)) {  // NOLINT(runtime/explicit)
+    assert(!std::get<Status>(rep_).ok() &&
+           "StatusOr must not be constructed from an OK status");
+  }
+  StatusOr(T value) : rep_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(rep_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(rep_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<Status, T> rep_;
+};
+
+// Propagate a non-OK Status to the caller.
+#define KD_RETURN_IF_ERROR(expr)             \
+  do {                                       \
+    ::kafkadirect::Status _kd_st = (expr);   \
+    if (!_kd_st.ok()) return _kd_st;         \
+  } while (0)
+
+// Coroutine variant: co_returns the error to the caller.
+#define KD_CO_RETURN_IF_ERROR(expr)          \
+  do {                                       \
+    ::kafkadirect::Status _kd_st = (expr);   \
+    if (!_kd_st.ok()) co_return _kd_st;      \
+  } while (0)
+
+#define KD_CONCAT_IMPL(a, b) a##b
+#define KD_CONCAT(a, b) KD_CONCAT_IMPL(a, b)
+
+// Evaluate a StatusOr expression; on error, return its Status; otherwise
+// bind the value to `lhs`.
+#define KD_ASSIGN_OR_RETURN(lhs, expr)                          \
+  auto KD_CONCAT(_kd_sor_, __LINE__) = (expr);                  \
+  if (!KD_CONCAT(_kd_sor_, __LINE__).ok())                      \
+    return KD_CONCAT(_kd_sor_, __LINE__).status();              \
+  lhs = std::move(KD_CONCAT(_kd_sor_, __LINE__)).value()
+
+// Coroutine variant of KD_ASSIGN_OR_RETURN.
+#define KD_CO_ASSIGN_OR_RETURN(lhs, expr)                       \
+  auto KD_CONCAT(_kd_sor_, __LINE__) = (expr);                  \
+  if (!KD_CONCAT(_kd_sor_, __LINE__).ok())                      \
+    co_return KD_CONCAT(_kd_sor_, __LINE__).status();           \
+  lhs = std::move(KD_CONCAT(_kd_sor_, __LINE__)).value()
+
+}  // namespace kafkadirect

@@ -1,0 +1,36 @@
+#include "common/units.h"
+
+#include <cstdio>
+
+namespace kafkadirect {
+
+std::string FormatSize(uint64_t bytes) {
+  char buf[32];
+  if (bytes >= kGiB && bytes % kGiB == 0) {
+    std::snprintf(buf, sizeof(buf), "%lluG",
+                  static_cast<unsigned long long>(bytes / kGiB));
+  } else if (bytes >= kMiB && bytes % kMiB == 0) {
+    std::snprintf(buf, sizeof(buf), "%lluM",
+                  static_cast<unsigned long long>(bytes / kMiB));
+  } else if (bytes >= kKiB && bytes % kKiB == 0) {
+    std::snprintf(buf, sizeof(buf), "%lluK",
+                  static_cast<unsigned long long>(bytes / kKiB));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lluB",
+                  static_cast<unsigned long long>(bytes));
+  }
+  return buf;
+}
+
+std::string FormatRate(double bytes, double nanos) {
+  char buf[48];
+  double gib = RateGiBps(bytes, nanos);
+  if (gib >= 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f GiB/s", gib);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f MiB/s", RateMiBps(bytes, nanos));
+  }
+  return buf;
+}
+
+}  // namespace kafkadirect

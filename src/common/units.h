@@ -1,0 +1,36 @@
+// Size/time unit constants and pretty-printing helpers used by benches.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace kafkadirect {
+
+constexpr uint64_t kKiB = 1024;
+constexpr uint64_t kMiB = 1024 * kKiB;
+constexpr uint64_t kGiB = 1024 * kMiB;
+
+// Virtual time is kept in nanoseconds throughout the codebase.
+constexpr int64_t kNanosPerMicro = 1000;
+constexpr int64_t kNanosPerMilli = 1000 * kNanosPerMicro;
+constexpr int64_t kNanosPerSecond = 1000 * kNanosPerMilli;
+
+constexpr int64_t Micros(int64_t us) { return us * kNanosPerMicro; }
+constexpr int64_t Millis(int64_t ms) { return ms * kNanosPerMilli; }
+constexpr int64_t Seconds(int64_t s) { return s * kNanosPerSecond; }
+
+/// "64B", "2K", "32K", "1M" — same labels as the paper's x-axes.
+std::string FormatSize(uint64_t bytes);
+
+/// Bytes over nanoseconds, rendered as "X.XX GiB/s" / "X.X MiB/s".
+std::string FormatRate(double bytes, double nanos);
+
+/// Rate in MiB per second (numeric, for tables).
+inline double RateMiBps(double bytes, double nanos) {
+  return bytes / nanos * 1e9 / static_cast<double>(kMiB);
+}
+inline double RateGiBps(double bytes, double nanos) {
+  return bytes / nanos * 1e9 / static_cast<double>(kGiB);
+}
+
+}  // namespace kafkadirect

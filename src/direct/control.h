@@ -1,0 +1,82 @@
+// KafkaDirect in-band RDMA control plane:
+//  - the 32-bit immediate-data layout of Fig. 4 ({order, file id});
+//  - the 64-bit shared-produce atomic word of Fig. 5 ({order, offset});
+//  - the small RDMA Send control messages (produce acks, replication
+//    credits, HWM updates) that ride on already-established QPs.
+#pragma once
+
+#include <cstdint>
+
+#include "common/byte_order.h"
+
+namespace kafkadirect {
+namespace kd {
+
+// --- Fig. 4: immediate data = 16-bit order | 16-bit file identifier ---
+
+inline uint32_t EncodeImm(uint16_t order, uint16_t file_id) {
+  return (static_cast<uint32_t>(order) << 16) | file_id;
+}
+inline uint16_t ImmOrder(uint32_t imm) {
+  return static_cast<uint16_t>(imm >> 16);
+}
+inline uint16_t ImmFileId(uint32_t imm) {
+  return static_cast<uint16_t>(imm & 0xFFFF);
+}
+
+// --- Fig. 5: 64-bit atomic word = 16-bit order | 48-bit file offset ---
+
+constexpr uint64_t kOffsetMask = (1ull << 48) - 1;
+
+inline uint64_t EncodeAtomicWord(uint16_t order, uint64_t offset) {
+  return (static_cast<uint64_t>(order) << 48) | (offset & kOffsetMask);
+}
+inline uint16_t AtomicOrder(uint64_t word) {
+  return static_cast<uint16_t>(word >> 48);
+}
+inline uint64_t AtomicOffset(uint64_t word) { return word & kOffsetMask; }
+
+/// The FAA addend that claims one produce slot of `size` bytes: increments
+/// the order field by one and the offset field by the record size.
+inline uint64_t FaaClaim(uint64_t size) { return (1ull << 48) + size; }
+
+// --- control messages (fixed 24-byte RDMA Sends) ---
+
+enum class CtrlKind : uint32_t {
+  kProduceAck = 1,     // broker -> producer: {order, error, base_offset}
+  kCredit = 2,         // follower -> leader: {granted, follower_leo}
+  kHwmUpdate = 3,      // leader -> follower: {high_watermark}
+  kProduceNotify = 4,  // producer -> broker: Write+Send notification
+                       // {order, aux=file_id, value=write length} (§4.2.2)
+};
+
+constexpr uint32_t kCtrlMsgSize = 24;
+
+struct CtrlMsg {
+  CtrlKind kind = CtrlKind::kProduceAck;
+  uint16_t order = 0;
+  uint16_t error = 0;      // 0 = OK; nonzero = kafka::ErrorCode
+  int64_t value = 0;       // base offset / LEO / HWM
+  uint32_t aux = 0;        // credits granted
+
+  void EncodeTo(uint8_t* dst) const {
+    EncodeFixed32(dst, static_cast<uint32_t>(kind));
+    EncodeFixed16(dst + 4, order);
+    EncodeFixed16(dst + 6, error);
+    EncodeFixed64(dst + 8, static_cast<uint64_t>(value));
+    EncodeFixed32(dst + 16, aux);
+    EncodeFixed32(dst + 20, 0);
+  }
+  static CtrlMsg DecodeFrom(const uint8_t* src) {
+    CtrlMsg m;
+    m.kind = static_cast<CtrlKind>(DecodeFixed32(src));
+    m.order = DecodeFixed16(src + 4);
+    m.error = DecodeFixed16(src + 6);
+    m.value = static_cast<int64_t>(DecodeFixed64(src + 8));
+    m.aux = DecodeFixed32(src + 16);
+    return m;
+  }
+};
+
+}  // namespace kd
+}  // namespace kafkadirect

@@ -1,0 +1,1125 @@
+#include "direct/kd_broker.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.h"
+#include "kafka/record.h"
+
+namespace kafkadirect {
+namespace kd {
+
+using kafka::ErrorCode;
+using kafka::PartitionState;
+using kafka::RecordBatchView;
+using kafka::TopicPartitionId;
+
+// ---------------------------------------------------------------------------
+// ConsumerSession / metadata slots
+// ---------------------------------------------------------------------------
+
+ConsumerSession::ConsumerSession(rdma::Rnic& rnic)
+    : region(kNumSlots * kSlotSize, 0), used(kNumSlots, false) {
+  mr = rnic.RegisterMemory(region.data(), region.size(),
+                           rdma::kAccessRemoteRead)
+           .value();
+}
+
+int32_t ConsumerSession::AllocSlot() {
+  for (uint32_t i = 0; i < kNumSlots; i++) {
+    if (!used[i]) {
+      used[i] = true;
+      return static_cast<int32_t>(i);
+    }
+  }
+  return -1;
+}
+
+void ConsumerSession::FreeSlot(int32_t index) {
+  if (index >= 0 && index < static_cast<int32_t>(kNumSlots)) {
+    used[index] = false;
+    std::memset(slot(index), 0, kSlotSize);
+  }
+}
+
+void WriteSlot(uint8_t* slot, uint64_t last_readable, bool is_mutable) {
+  EncodeFixed64(slot, last_readable);
+  slot[8] = is_mutable ? 1 : 0;
+}
+
+uint64_t SlotLastReadable(const uint8_t* slot) { return DecodeFixed64(slot); }
+bool SlotMutable(const uint8_t* slot) { return slot[8] != 0; }
+
+// ---------------------------------------------------------------------------
+// Broker setup
+// ---------------------------------------------------------------------------
+
+KafkaDirectBroker::KafkaDirectBroker(sim::Simulator& sim, net::Fabric& fabric,
+                                     tcpnet::Network& tcp,
+                                     kafka::BrokerConfig config)
+    : Broker(sim, fabric, tcp, config) {}
+
+KafkaDirectBroker::~KafkaDirectBroker() = default;
+
+Status KafkaDirectBroker::Start() {
+  KD_RETURN_IF_ERROR(Broker::Start());
+  rdma_cq_ = rnic_.CreateCq();
+  sim::Spawn(sim_, RdmaPollerLoop());
+  // Loopback QP pair so TCP produce requests to shared files can reserve
+  // regions "by issuing an RDMA atomic to itself" (§4.2.2).
+  loop_cq_ = rnic_.CreateCq();
+  loop_peer_cq_ = rnic_.CreateCq();
+  loop_qp_ = rnic_.CreateQp(loop_cq_, loop_cq_);
+  loop_peer_qp_ = rnic_.CreateQp(loop_peer_cq_, loop_peer_cq_);
+  loop_mu_ = std::make_unique<sim::AsyncMutex>(sim_);
+  return rdma::Connect(loop_qp_, loop_peer_qp_);
+}
+
+sim::Co<StatusOr<uint64_t>> KafkaDirectBroker::LoopbackFaa(RdmaFileState* fs,
+                                                           uint64_t size) {
+  co_await loop_mu_->Lock();
+  std::vector<uint8_t> result(8, 0);
+  rdma::WorkRequest wr;
+  wr.opcode = rdma::Opcode::kFetchAdd;
+  wr.local_addr = result.data();
+  wr.remote_addr = fs->atomic_mr->addr();
+  wr.rkey = fs->atomic_mr->rkey();
+  wr.compare_add = FaaClaim(size);
+  Status st = loop_qp_->PostSend(wr);
+  if (!st.ok()) {
+    loop_mu_->Unlock();
+    co_return st;
+  }
+  auto wc = co_await loop_cq_->Next();
+  loop_mu_->Unlock();
+  if (!wc.has_value() || !wc->ok()) {
+    co_return Status::Disconnected("loopback FAA failed");
+  }
+  co_return DecodeFixed64(result.data());
+}
+
+sim::Co<StatusOr<int64_t>> KafkaDirectBroker::CommitBatch(
+    PartitionState* ps, std::vector<uint8_t> batch, bool charge_copy) {
+  for (int attempt = 0; attempt < 4; attempt++) {
+    KdPartitionExt* ext = Ext(*ps);
+    RdmaFileState* fs = ext->produce_file;
+    if (fs == nullptr || fs->aborted || !fs->shared) {
+      // No shared RDMA grant on the head file: the original path applies.
+      co_return co_await Broker::CommitBatch(ps, std::move(batch),
+                                             charge_copy);
+    }
+    // Reserve a region exactly like a remote producer would (§4.2.2: the
+    // broker issues an RDMA atomic to itself).
+    auto word_or = co_await LoopbackFaa(fs, batch.size());
+    if (!word_or.ok()) co_return word_or.status();
+    uint64_t word = word_or.value();
+    uint16_t order = AtomicOrder(word);
+    uint64_t pos = AtomicOffset(word);
+    kafka::Segment* seg = ps->log.segments()[fs->seg_index].get();
+    if (pos + batch.size() > seg->capacity()) {
+      // The file overflowed under us; retire it, roll, and retry on the
+      // fresh head file. Writers with in-range claims finish first.
+      uint64_t target = std::min<uint64_t>(pos, seg->capacity());
+      uint64_t last_progress = fs->next_commit_pos;
+      int stalls = 0;
+      while (!fs->aborted &&
+             (fs->next_commit_pos < target || !fs->pending.empty())) {
+        (void)co_await fs->commit_event->WaitFor(
+            config_.shared_produce_hole_timeout);
+        if (fs->next_commit_pos == last_progress) {
+          if (++stalls >= 2) {
+            AbortFile(fs, ErrorCode::kTimedOut);
+            break;
+          }
+        } else {
+          last_progress = fs->next_commit_pos;
+          stalls = 0;
+        }
+      }
+      if (!fs->aborted) {
+        AbortFile(fs, ErrorCode::kNone);
+        co_await ps->append_mu.Lock();
+        ps->log.Roll();
+        ps->append_mu.Unlock();
+        OnRolled(*ps);
+        CreateFileState(*ps, /*shared=*/true, /*replica=*/false);
+      }
+      continue;
+    }
+    if (charge_copy) co_await Work(cost().CopyCost(batch.size()));
+    std::memcpy(seg->data() + pos, batch.data(), batch.size());
+    co_await CommitRdmaWrite(fs, order, static_cast<uint32_t>(batch.size()),
+                             /*qp_num=*/0);
+    while (!fs->aborted && !OrderCommitted(fs, order)) {
+      (void)co_await fs->commit_event->WaitFor(
+          config_.shared_produce_hole_timeout * 4);
+    }
+    if (fs->aborted && !OrderCommitted(fs, order)) {
+      co_return Status::Aborted("shared produce aborted");
+    }
+    co_return kafka::GetBaseOffset(seg->data() + pos);
+  }
+  co_return Status::ResourceExhausted("shared produce: rotation livelock");
+}
+
+sim::Co<StatusOr<std::shared_ptr<rdma::QueuePair>>>
+KafkaDirectBroker::AcceptRdma(std::shared_ptr<rdma::QueuePair> client_qp) {
+  // Out-of-band CM exchange: one request/response round trip.
+  co_await sim::Delay(sim_, 2 * cost().link.propagation_ns + 20000);
+  auto qp = rnic_.CreateQp(rdma_cq_, rdma_cq_);
+  KD_CO_RETURN_IF_ERROR(rdma::Connect(qp, client_qp));
+  PostCtrlRecvs(qp, 256);
+  rdma_qps_[qp->qp_num()] = qp;
+  sim::Spawn(sim_, WatchQpFailure(qp));
+  co_return qp;
+}
+
+void KafkaDirectBroker::PostCtrlRecvs(
+    const std::shared_ptr<rdma::QueuePair>& qp, int n) {
+  // Receives carry a small buffer so both immediate-only WriteWithImm and
+  // 24-byte control Sends can land on any broker QP.
+  for (int i = 0; i < n; i++) {
+    recv_buf_pool_.emplace_back(kCtrlMsgSize);
+    uint64_t wr_id = recv_buf_pool_.size() - 1;
+    KD_CHECK_OK(qp->PostRecv(wr_id, recv_buf_pool_[wr_id].data(),
+                             kCtrlMsgSize));
+  }
+}
+
+sim::Co<void> KafkaDirectBroker::WatchQpFailure(
+    std::shared_ptr<rdma::QueuePair> qp) {
+  co_await qp->error_event().Wait();
+  // Client failure detected from the QP disconnection event (§4.2.2):
+  // revoke RDMA access to files exclusively owned by this connection.
+  for (auto& [id, fs] : rdma_files_) {
+    if (!fs->aborted && !fs->shared && fs->owner_qp == qp->qp_num()) {
+      AbortFile(fs.get(), ErrorCode::kRdmaAccessDenied);
+    }
+  }
+  rdma_qps_.erase(qp->qp_num());
+}
+
+void KafkaDirectBroker::SendCtrl(uint32_t qp_num, const CtrlMsg& msg) {
+  auto it = rdma_qps_.find(qp_num);
+  if (it == rdma_qps_.end()) return;
+  // Retained arena: buffers must outlive the (unsignaled) send.
+  recv_buf_pool_.emplace_back(kCtrlMsgSize);
+  std::vector<uint8_t>& buf = recv_buf_pool_.back();
+  msg.EncodeTo(buf.data());
+  rdma::WorkRequest wr;
+  wr.opcode = rdma::Opcode::kSend;
+  wr.signaled = false;
+  wr.local_addr = buf.data();
+  wr.length = kCtrlMsgSize;
+  (void)it->second->PostSend(wr);
+  rdma_acks_sent_++;
+}
+
+// ---------------------------------------------------------------------------
+// RDMA network module (§4.1): CQ poller feeding the shared request queue
+// ---------------------------------------------------------------------------
+
+sim::Co<void> KafkaDirectBroker::RdmaPollerLoop() {
+  while (true) {
+    auto wc = co_await rdma_cq_->Next();
+    if (!wc.has_value()) co_return;  // CQ destroyed/errored
+    co_await sim::Delay(sim_, cost().cpu.poll_iteration_ns);
+    if (!wc->ok()) continue;  // QP failure handled by watchers
+    if (wc->opcode == rdma::Opcode::kRecvWithImm) {
+      uint16_t file_id = ImmFileId(wc->imm_data);
+      uint16_t order = ImmOrder(wc->imm_data);
+      auto it = rdma_files_.find(file_id);
+      if (it != rdma_files_.end() && !it->second->shared &&
+          !it->second->replica) {
+        // Exclusive mode: the produce module assigns arrival order so the
+        // request queue's multi-worker processing stays sequential per
+        // file (§4.2.2 in-order completion processing).
+        order = it->second->arrival_seq++;
+      }
+      // Re-post the consumed receive.
+      auto qp_it = rdma_qps_.find(wc->qp_num);
+      if (qp_it != rdma_qps_.end()) {
+        (void)qp_it->second->PostRecv(wc->wr_id,
+                                      recv_buf_pool_[wc->wr_id].data(),
+                                      kCtrlMsgSize);
+      }
+      Request req;
+      req.file_id = file_id;
+      req.order = order;
+      req.byte_len = wc->byte_len;
+      req.qp_num = wc->qp_num;
+      EnqueueRequest(std::move(req));  // step 2 in Fig. 2
+    } else if (wc->opcode == rdma::Opcode::kRecv) {
+      CtrlMsg msg = CtrlMsg::DecodeFrom(recv_buf_pool_[wc->wr_id].data());
+      auto qp_it = rdma_qps_.find(wc->qp_num);
+      if (qp_it != rdma_qps_.end()) {
+        (void)qp_it->second->PostRecv(wc->wr_id,
+                                      recv_buf_pool_[wc->wr_id].data(),
+                                      kCtrlMsgSize);
+      }
+      if (msg.kind == CtrlKind::kProduceNotify) {
+        // Write+Send notification (§4.2.2): the Send is ordered behind the
+        // data write, so the records are already in the file.
+        uint16_t file_id = static_cast<uint16_t>(msg.aux);
+        uint16_t order = msg.order;
+        auto fit = rdma_files_.find(file_id);
+        if (fit != rdma_files_.end() && !fit->second->shared &&
+            !fit->second->replica) {
+          order = fit->second->arrival_seq++;
+        }
+        Request produce_req;
+        produce_req.file_id = file_id;
+        produce_req.order = order;
+        produce_req.byte_len = static_cast<uint32_t>(msg.value);
+        produce_req.qp_num = wc->qp_num;
+        EnqueueRequest(std::move(produce_req));
+      } else if (msg.kind == CtrlKind::kHwmUpdate) {
+        // Leader -> follower high-watermark propagation on the push path.
+        auto fit = rdma_files_.find(static_cast<uint16_t>(msg.aux));
+        if (fit != rdma_files_.end()) {
+          PartitionState* ps = fit->second->ps;
+          if (msg.value > ps->log.high_watermark()) {
+            ps->log.SetHighWatermark(msg.value);
+            ps->hwm_advanced.Pulse();
+            OnHwmAdvanced(*ps);
+          }
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Request dispatch
+// ---------------------------------------------------------------------------
+
+KdPartitionExt* KafkaDirectBroker::Ext(PartitionState& ps) {
+  if (ps.ext == nullptr) ps.ext = std::make_unique<KdPartitionExt>();
+  return static_cast<KdPartitionExt*>(ps.ext.get());
+}
+
+sim::Co<void> KafkaDirectBroker::HandleExtendedRequest(Request req) {
+  if (req.conn == nullptr) {
+    co_await HandleRdmaProduceArrival(std::move(req));
+    co_return;
+  }
+  switch (kafka::PeekType(Slice(req.frame))) {
+    case kafka::MsgType::kRdmaProduceAccessRequest:
+      co_await HandleProduceAccess(std::move(req));
+      break;
+    case kafka::MsgType::kRdmaConsumeAccessRequest:
+      co_await HandleConsumeAccess(std::move(req));
+      break;
+    case kafka::MsgType::kRdmaUnregisterRequest:
+      co_await HandleUnregister(std::move(req));
+      break;
+    case kafka::MsgType::kReplicaRdmaAccessRequest:
+      co_await HandleReplicaAccess(std::move(req));
+      break;
+    case kafka::MsgType::kRdmaCommitAccessRequest:
+      co_await HandleCommitAccess(std::move(req));
+      break;
+    default:
+      co_await Broker::HandleExtendedRequest(std::move(req));
+      break;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// RDMA produce module (§4.2.2)
+// ---------------------------------------------------------------------------
+
+RdmaFileState* KafkaDirectBroker::CreateFileState(PartitionState& ps,
+                                                  bool shared, bool replica) {
+  auto fs = std::make_unique<RdmaFileState>();
+  fs->file_id = next_file_id_++;
+  if (next_file_id_ == 0) next_file_id_ = 1;  // 0 is reserved
+  fs->ps = &ps;
+  fs->seg_index = static_cast<int>(ps.log.segments().size()) - 1;
+  fs->shared = shared;
+  fs->replica = replica;
+  fs->next_commit_pos = ps.log.head().size();
+  fs->commit_event = std::make_unique<sim::Event>(sim_);
+  kafka::Segment& seg = ps.log.head();
+  fs->mr = rnic_.RegisterMemory(seg.data(), seg.capacity(),
+                                rdma::kAccessRemoteWrite)
+               .value();
+  if (shared) {
+    fs->atomic_word.resize(8);
+    EncodeFixed64(fs->atomic_word.data(),
+                  EncodeAtomicWord(0, fs->next_commit_pos));
+    fs->atomic_mr = rnic_.RegisterMemory(fs->atomic_word.data(), 8,
+                                         rdma::kAccessRemoteAtomic)
+                        .value();
+  }
+  RdmaFileState* raw = fs.get();
+  rdma_files_[fs->file_id] = std::move(fs);
+  Ext(ps)->produce_file = replica ? Ext(ps)->produce_file : raw;
+  return raw;
+}
+
+void KafkaDirectBroker::AbortFile(RdmaFileState* fs, ErrorCode error) {
+  if (fs->aborted) return;
+  fs->aborted = true;
+  // Revoke remote access immediately (a faulty client must not touch the
+  // file again, §4.2.2).
+  if (fs->mr != nullptr) (void)rnic_.DeregisterMemory(fs->mr);
+  if (fs->atomic_mr != nullptr) (void)rnic_.DeregisterMemory(fs->atomic_mr);
+  for (auto& [order, pending] : fs->pending) {
+    if (pending.qp_num != 0) {
+      CtrlMsg msg;
+      msg.kind = CtrlKind::kProduceAck;
+      msg.order = order;
+      msg.error = static_cast<uint16_t>(error);
+      SendCtrl(pending.qp_num, msg);
+    }
+  }
+  fs->pending.clear();
+  fs->commit_event->Pulse();
+  KdPartitionExt* ext = Ext(*fs->ps);
+  if (ext->produce_file == fs) ext->produce_file = nullptr;
+}
+
+sim::Co<void> KafkaDirectBroker::HandleProduceAccess(Request req) {
+  kafka::RdmaProduceAccessRequest areq;
+  kafka::RdmaProduceAccessResponse resp;
+  if (!kafka::Decode(Slice(req.frame), &areq).ok()) {
+    resp.error = ErrorCode::kInvalidRequest;
+    SendResponse(req.conn, Encode(resp));
+    co_return;
+  }
+  PartitionState* ps = GetPartition(areq.tp);
+  if (ps == nullptr) {
+    resp.error = ErrorCode::kUnknownTopicOrPartition;
+    SendResponse(req.conn, Encode(resp));
+    co_return;
+  }
+  if (!ps->is_leader || !config_.rdma_produce) {
+    resp.error = config_.rdma_produce ? ErrorCode::kNotLeader
+                                      : ErrorCode::kRdmaAccessDenied;
+    SendResponse(req.conn, Encode(resp));
+    co_return;
+  }
+  KdPartitionExt* ext = Ext(*ps);
+  RdmaFileState* fs = ext->produce_file;
+
+  if (areq.stale_file_id != 0 && fs != nullptr &&
+      fs->file_id == areq.stale_file_id && !fs->aborted) {
+    // Head-file rotation: wait for claims already reserved inside the old
+    // file to commit (up to the requester's observed end of in-range
+    // claims), then seal and roll. A writer that claimed a region and then
+    // stalls is eventually fenced like any other hole (§4.2.2).
+    uint64_t target = std::min<uint64_t>(areq.rotate_target,
+                                         ps->log.head().capacity());
+    uint64_t last_progress = fs->next_commit_pos;
+    int stalls = 0;
+    while (!fs->aborted &&
+           (fs->next_commit_pos < target || !fs->pending.empty())) {
+      (void)co_await fs->commit_event->WaitFor(
+          config_.shared_produce_hole_timeout);
+      if (fs->next_commit_pos == last_progress) {
+        if (++stalls >= 2) {
+          AbortFile(fs, ErrorCode::kTimedOut);
+          break;
+        }
+      } else {
+        last_progress = fs->next_commit_pos;
+        stalls = 0;
+      }
+    }
+    bool was_shared = fs->shared;
+    AbortFile(fs, ErrorCode::kNone);  // retire the old grant
+    co_await ps->append_mu.Lock();
+    ps->log.Roll();
+    ps->append_mu.Unlock();
+    OnRolled(*ps);
+    fs = CreateFileState(*ps, was_shared, /*replica=*/false);
+    fs->owner_qp = areq.broker_qp;
+  } else if (fs == nullptr || fs->aborted) {
+    fs = CreateFileState(*ps, /*shared=*/!areq.exclusive, /*replica=*/false);
+    fs->owner_qp = areq.broker_qp;
+    // mmap + ibv_reg_mr cost for the (preallocated) head file.
+    co_await Work(rnic_.RegistrationCost(ps->log.head().capacity()));
+  } else {
+    // A grant already exists for the head file.
+    if (areq.exclusive || !fs->shared) {
+      // The broker never grants exclusive access to the same file to two
+      // producers (§4.2.2), and never mixes modes.
+      resp.error = ErrorCode::kRdmaAccessDenied;
+      SendResponse(req.conn, Encode(resp));
+      co_return;
+    }
+  }
+
+  resp.error = ErrorCode::kNone;
+  resp.file_id = fs->file_id;
+  resp.addr = fs->mr->addr();
+  resp.rkey = fs->mr->rkey();
+  resp.capacity = ps->log.head().capacity();
+  resp.write_pos = fs->next_commit_pos;
+  resp.next_order = fs->next_expected_order;
+  if (fs->shared) {
+    resp.atomic_addr = fs->atomic_mr->addr();
+    resp.atomic_rkey = fs->atomic_mr->rkey();
+  }
+  SendResponse(req.conn, Encode(resp));
+}
+
+sim::Co<void> KafkaDirectBroker::HandleRdmaProduceArrival(Request req) {
+  auto it = rdma_files_.find(req.file_id);
+  if (it == rdma_files_.end()) co_return;  // revoked or unknown: drop
+  co_await CommitRdmaWrite(it->second.get(), req.order, req.byte_len,
+                           req.qp_num);
+}
+
+sim::Co<void> KafkaDirectBroker::CommitRdmaWrite(RdmaFileState* fs,
+                                                 uint16_t order,
+                                                 uint32_t byte_len,
+                                                 uint32_t qp_num) {
+  if (fs->aborted) {
+    if (qp_num != 0) {
+      CtrlMsg msg;
+      msg.kind = CtrlKind::kProduceAck;
+      msg.order = order;
+      msg.error = static_cast<uint16_t>(ErrorCode::kRdmaAccessDenied);
+      SendCtrl(qp_num, msg);
+    }
+    co_return;
+  }
+  if (order != fs->next_expected_order) {
+    // Out-of-order arrival: request i must wait for request i-1 (§4.2.2).
+    fs->pending[order] = RdmaFileState::PendingWrite{byte_len, qp_num};
+    if (!fs->hole_watch_armed) {
+      fs->hole_watch_armed = true;
+      sim::Spawn(sim_, HoleWatchdog(fs, fs->next_expected_order));
+    }
+    co_return;
+  }
+  uint16_t cur_order = order;
+  uint32_t cur_len = byte_len;
+  uint32_t cur_qp = qp_num;
+  while (true) {
+    PartitionState* ps = fs->ps;
+    kafka::Segment* seg = ps->log.segments()[fs->seg_index].get();
+    uint64_t pos = fs->next_commit_pos;
+    stats_.rdma_produce_requests++;
+    // Verify the records already sitting in the file: fixed processing +
+    // CRC32C — the only CPU the zero-copy path spends on data.
+    co_await Work(cost().kafka.rdma_produce_process_ns);
+    co_await Work(cost().CrcCost(cur_len));
+    // Validate the written span. A produce write carries exactly one
+    // batch; a push-replication write may carry several contiguous batches
+    // merged by the leader's opportunistic batching (§4.3.2).
+    bool valid = pos + cur_len <= seg->capacity();
+    uint64_t scanned = 0;
+    uint32_t count = 0;
+    int64_t span_base = 0;
+    int64_t expected_next = -1;
+    while (valid && scanned < cur_len) {
+      auto view_or = RecordBatchView::Parse(
+          Slice(seg->data() + pos + scanned, cur_len - scanned));
+      if (!view_or.ok()) {
+        valid = false;
+        break;
+      }
+      const RecordBatchView& view = view_or.value();
+      if (!fs->replica && view.total_size() != cur_len) {
+        valid = false;  // producers write one batch per request
+        break;
+      }
+      if (scanned == 0) {
+        span_base = view.base_offset();
+      } else if (view.base_offset() != expected_next) {
+        valid = false;  // replicated batches must be offset-contiguous
+        break;
+      }
+      expected_next = view.last_offset() + 1;
+      count += view.record_count();
+      scanned += view.total_size();
+    }
+    valid = valid && scanned == cur_len;
+    if (!valid) {
+      // Integrity failure: abort and revoke (the producer must re-request
+      // access, §4.2.2).
+      if (cur_qp != 0) {
+        CtrlMsg msg;
+        msg.kind = CtrlKind::kProduceAck;
+        msg.order = cur_order;
+        msg.error = static_cast<uint16_t>(ErrorCode::kCorruptMessage);
+        SendCtrl(cur_qp, msg);
+      }
+      AbortFile(fs, ErrorCode::kRdmaAccessDenied);
+      co_return;
+    }
+    co_await ps->append_mu.Lock();
+    int64_t base = ps->log.log_end_offset();
+    if (fs->replica) {
+      // Push replication: offsets were assigned by the leader and must
+      // line up with this replica's log end.
+      if (span_base != base) {
+        ps->append_mu.Unlock();
+        AbortFile(fs, ErrorCode::kInvalidRequest);
+        co_return;
+      }
+    } else {
+      kafka::SetBaseOffset(seg->data() + pos, base);
+    }
+    Status st = seg->CommitInPlace(pos, cur_len, count);
+    ps->append_mu.Unlock();
+    if (!st.ok()) {
+      AbortFile(fs, ErrorCode::kInvalidRequest);
+      co_return;
+    }
+    stats_.bytes_appended += cur_len;
+    fs->next_commit_pos += cur_len;
+    fs->next_expected_order++;
+    fs->commit_event->Pulse();
+
+    if (fs->replica) {
+      stats_.replication_writes++;
+      GrantCredit(cur_qp, ps);
+    } else {
+      OnAppended(*ps, pos, cur_len, base, count);
+      ps->leo_advanced.Pulse();
+      AdvanceHwm(ps);
+      // Backpressure: never let the push-replication queues grow without
+      // bound when producers outpace the replication worker.
+      for (auto& session : Ext(*ps)->push_sessions) {
+        while (session->queue->size() > 64) {
+          co_await sim::Delay(sim_, 1000);
+        }
+      }
+      if (cur_qp != 0) {
+        int64_t required = base + count;
+        if (ps->log.high_watermark() >= required) {
+          CtrlMsg msg;
+          msg.kind = CtrlKind::kProduceAck;
+          msg.order = cur_order;
+          msg.value = base;
+          SendCtrl(cur_qp, msg);
+        } else {
+          sim::Spawn(sim_, AckWhenCommitted(ps, cur_qp, cur_order, base,
+                                            required));
+        }
+      }
+    }
+    // Drain any unblocked out-of-order arrivals.
+    auto next = fs->pending.find(fs->next_expected_order);
+    if (next == fs->pending.end()) break;
+    cur_order = next->first;
+    cur_len = next->second.byte_len;
+    cur_qp = next->second.qp_num;
+    fs->pending.erase(next);
+  }
+}
+
+sim::Co<void> KafkaDirectBroker::AckWhenCommitted(PartitionState* ps,
+                                                  uint32_t qp_num,
+                                                  uint16_t order,
+                                                  int64_t base,
+                                                  int64_t required) {
+  while (ps->log.high_watermark() < required) {
+    bool fired =
+        co_await ps->hwm_advanced.WaitFor(30ll * 1000 * 1000 * 1000);
+    if (!fired && ps->log.high_watermark() < required) {
+      CtrlMsg msg;
+      msg.kind = CtrlKind::kProduceAck;
+      msg.order = order;
+      msg.error = static_cast<uint16_t>(ErrorCode::kTimedOut);
+      SendCtrl(qp_num, msg);
+      co_return;
+    }
+  }
+  CtrlMsg msg;
+  msg.kind = CtrlKind::kProduceAck;
+  msg.order = order;
+  msg.value = base;
+  SendCtrl(qp_num, msg);
+}
+
+sim::Co<void> KafkaDirectBroker::HoleWatchdog(RdmaFileState* fs,
+                                              uint16_t expected) {
+  co_await sim::Delay(sim_, config_.shared_produce_hole_timeout);
+  fs->hole_watch_armed = false;
+  if (fs->aborted) co_return;
+  if (fs->pending.empty()) co_return;
+  if (fs->next_expected_order == expected) {
+    // Request `expected` never arrived: abort all pending produce requests
+    // and revoke RDMA access to the file (§4.2.2 hole prevention).
+    AbortFile(fs, ErrorCode::kTimedOut);
+    co_return;
+  }
+  // Progress was made but holes remain; re-arm.
+  fs->hole_watch_armed = true;
+  sim::Spawn(sim_, HoleWatchdog(fs, fs->next_expected_order));
+}
+
+// ---------------------------------------------------------------------------
+// Push replication (§4.3.2)
+// ---------------------------------------------------------------------------
+
+void KafkaDirectBroker::OnAppended(PartitionState& ps, uint64_t pos,
+                                   uint64_t len, int64_t base_offset,
+                                   uint32_t record_count) {
+  (void)base_offset;
+  (void)record_count;
+  if (!ps.is_leader || !config_.rdma_replicate) return;
+  KdPartitionExt* ext = Ext(ps);
+  int seg = static_cast<int>(ps.log.segments().size()) - 1;
+  for (auto& session : ext->push_sessions) {
+    session->queue->Push(ReplEntry{seg, pos, static_cast<uint32_t>(len)});
+  }
+}
+
+void KafkaDirectBroker::StartPushReplication(
+    const TopicPartitionId& tp, const std::vector<kafka::Broker*>& followers) {
+  KD_CHECK(config_.rdma_replicate);
+  for (kafka::Broker* follower : followers) {
+    sim::Spawn(sim_, PushReplicatorLoop(tp, follower));
+  }
+}
+
+sim::Co<Status> KafkaDirectBroker::PushHandshake(PushSession* session,
+                                                 PartitionState* ps,
+                                                 uint16_t stale_file_id) {
+  kafka::ReplicaRdmaAccessRequest req;
+  req.tp = session->tp;
+  req.stale_file_id = stale_file_id;
+  KD_CO_RETURN_IF_ERROR(co_await session->ctrl->Send(Encode(req), false));
+  auto frame = co_await session->ctrl->Recv();
+  if (!frame.ok()) co_return frame.status();
+  kafka::ReplicaRdmaAccessResponse resp;
+  KD_CO_RETURN_IF_ERROR(kafka::Decode(Slice(frame.value()), &resp));
+  if (resp.error != ErrorCode::kNone) {
+    co_return Status::Internal("replica access denied");
+  }
+  session->file_id = resp.file_id;
+  session->remote_addr = resp.addr;
+  session->rkey = resp.rkey;
+  session->capacity = resp.capacity;
+  session->next_order = 0;
+  if (session->credits == nullptr) {
+    session->credits = std::make_unique<sim::Semaphore>(sim_, resp.credits);
+  }
+  (void)ps;
+  co_return Status::OK();
+}
+
+sim::Co<void> KafkaDirectBroker::PushReplicatorLoop(
+    TopicPartitionId tp, kafka::Broker* follower_base) {
+  auto* follower = dynamic_cast<KafkaDirectBroker*>(follower_base);
+  KD_CHECK(follower != nullptr)
+      << "push replication requires KafkaDirect followers";
+  PartitionState* ps = GetPartition(tp);
+  KD_CHECK(ps != nullptr && ps->is_leader);
+  KdPartitionExt* ext = Ext(*ps);
+
+  auto session = std::make_unique<PushSession>();
+  PushSession* s = session.get();
+  s->tp = tp;
+  s->follower = follower;
+  s->queue = std::make_unique<sim::Channel<ReplEntry>>(sim_);
+  ext->push_sessions.push_back(std::move(session));
+
+  // Control channel + RC QP to the follower.
+  auto conn_or = co_await tcp_.Connect(node_, follower->node(), kafka::kKafkaPort);
+  if (!conn_or.ok()) co_return;
+  s->ctrl = conn_or.value();
+  s->send_cq = rnic_.CreateCq();
+  s->recv_cq = rnic_.CreateCq();
+  s->qp = rnic_.CreateQp(s->send_cq, s->recv_cq);
+  auto accepted = co_await follower->AcceptRdma(s->qp);
+  if (!accepted.ok()) co_return;
+  // Post receives for credit-return messages.
+  for (int i = 0; i < 512; i++) {
+    s->ctrl_bufs.emplace_back(kCtrlMsgSize);
+    KD_CHECK_OK(s->qp->PostRecv(i, s->ctrl_bufs.back().data(), kCtrlMsgSize));
+  }
+  Status hs = co_await PushHandshake(s, ps, 0);
+  if (!hs.ok()) co_return;
+  s->seg_index = static_cast<int>(ps->log.segments().size()) - 1;
+  sim::Spawn(sim_, PushCreditDrainer(s, ps));
+
+  int64_t last_hwm_sent = -1;
+  while (true) {
+    auto entry_opt = co_await s->queue->Pop();
+    if (!entry_opt.has_value()) co_return;
+    ReplEntry entry = *entry_opt;
+    // Opportunistic batching: merge immediately-available contiguous
+    // writes into one RDMA Write, up to the configured batch size. The
+    // replicator never waits for more data (§4.3.2).
+    while (entry.len < config_.replication_max_batch_bytes) {
+      const ReplEntry* next = s->queue->PeekFront();
+      if (next == nullptr || next->seg != entry.seg ||
+          next->pos != entry.pos + entry.len ||
+          entry.len + next->len > config_.replication_max_batch_bytes) {
+        break;
+      }
+      entry.len += next->len;
+      (void)s->queue->TryPop();
+    }
+    if (entry.seg != s->seg_index) {
+      // The leader rolled its head file; roll the replica too.
+      Status rot = co_await PushHandshake(s, ps, s->file_id);
+      if (!rot.ok()) co_return;
+      s->seg_index = entry.seg;
+    }
+    // Per-write CPU on the replication worker; while it is busy, more
+    // contiguous entries queue up and get merged next round (§4.3.2).
+    co_await sim::Delay(sim_, cost().kafka.replication_post_ns);
+    while (entry.len < config_.replication_max_batch_bytes) {
+      const ReplEntry* more = s->queue->PeekFront();
+      if (more == nullptr || more->seg != entry.seg ||
+          more->pos != entry.pos + entry.len ||
+          entry.len + more->len > config_.replication_max_batch_bytes) {
+        break;
+      }
+      entry.len += more->len;
+      (void)s->queue->TryPop();
+    }
+    co_await s->credits->Acquire();
+    kafka::Segment* seg = ps->log.segments()[entry.seg].get();
+    rdma::WorkRequest wr;
+    wr.opcode = rdma::Opcode::kWriteWithImm;
+    wr.signaled = false;
+    wr.local_addr = seg->data() + entry.pos;  // zero copy from the TP file
+    wr.length = entry.len;
+    wr.remote_addr = s->remote_addr + entry.pos;
+    wr.rkey = s->rkey;
+    wr.imm_data = EncodeImm(s->next_order++, s->file_id);
+    while (true) {
+      Status st = s->qp->PostSend(wr);
+      if (st.ok()) break;
+      if (st.IsDisconnected()) co_return;
+      co_await sim::Delay(sim_, 1000);  // send queue full; retry shortly
+    }
+    stats_.replication_writes++;
+    // Propagate our HWM so follower consumers/failover see commits.
+    if (ps->log.high_watermark() != last_hwm_sent) {
+      last_hwm_sent = ps->log.high_watermark();
+      recv_buf_pool_.emplace_back(kCtrlMsgSize);
+      std::vector<uint8_t>& buf = recv_buf_pool_.back();
+      CtrlMsg msg;
+      msg.kind = CtrlKind::kHwmUpdate;
+      msg.value = last_hwm_sent;
+      msg.aux = s->file_id;
+      msg.EncodeTo(buf.data());
+      rdma::WorkRequest hwm_wr;
+      hwm_wr.opcode = rdma::Opcode::kSend;
+      hwm_wr.signaled = false;
+      hwm_wr.local_addr = buf.data();
+      hwm_wr.length = kCtrlMsgSize;
+      (void)s->qp->PostSend(hwm_wr);
+    }
+  }
+}
+
+sim::Co<void> KafkaDirectBroker::PushCreditDrainer(PushSession* session,
+                                                   PartitionState* ps) {
+  while (true) {
+    auto wc = co_await session->recv_cq->Next();
+    if (!wc.has_value()) co_return;
+    if (!wc->ok()) co_return;
+    if (wc->opcode != rdma::Opcode::kRecv) continue;
+    CtrlMsg msg = CtrlMsg::DecodeFrom(
+        session->ctrl_bufs[wc->wr_id].data());
+    (void)session->qp->PostRecv(wc->wr_id,
+                                session->ctrl_bufs[wc->wr_id].data(),
+                                kCtrlMsgSize);
+    if (msg.kind != CtrlKind::kCredit) continue;
+    session->credits->Release(msg.aux);
+    // The credit message carries the follower's log end offset.
+    auto it = ps->follower_leo.find(session->follower->id());
+    if (it != ps->follower_leo.end() && msg.value > it->second) {
+      it->second = msg.value;
+      AdvanceHwm(ps);
+    }
+  }
+}
+
+sim::Co<void> KafkaDirectBroker::HandleReplicaAccess(Request req) {
+  kafka::ReplicaRdmaAccessRequest areq;
+  kafka::ReplicaRdmaAccessResponse resp;
+  if (!kafka::Decode(Slice(req.frame), &areq).ok()) {
+    resp.error = ErrorCode::kInvalidRequest;
+    SendResponse(req.conn, Encode(resp));
+    co_return;
+  }
+  PartitionState* ps = GetPartition(areq.tp);
+  if (ps == nullptr || ps->is_leader) {
+    resp.error = ErrorCode::kUnknownTopicOrPartition;
+    SendResponse(req.conn, Encode(resp));
+    co_return;
+  }
+  if (areq.stale_file_id != 0) {
+    auto it = rdma_files_.find(areq.stale_file_id);
+    if (it != rdma_files_.end()) {
+      AbortFile(it->second.get(), ErrorCode::kNone);
+    }
+    co_await ps->append_mu.Lock();
+    ps->log.Roll();
+    ps->append_mu.Unlock();
+    OnRolled(*ps);
+  }
+  RdmaFileState* fs = CreateFileState(*ps, /*shared=*/false,
+                                      /*replica=*/true);
+  co_await Work(rnic_.RegistrationCost(ps->log.head().capacity()));
+  resp.error = ErrorCode::kNone;
+  resp.file_id = fs->file_id;
+  resp.addr = fs->mr->addr();
+  resp.rkey = fs->mr->rkey();
+  resp.capacity = ps->log.head().capacity();
+  resp.write_pos = fs->next_commit_pos;
+  resp.credits = config_.push_replication_credits;
+  SendResponse(req.conn, Encode(resp));
+}
+
+void KafkaDirectBroker::GrantCredit(uint32_t qp_num, PartitionState* ps) {
+  CtrlMsg msg;
+  msg.kind = CtrlKind::kCredit;
+  msg.aux = 1;
+  msg.value = ps->log.log_end_offset();
+  SendCtrl(qp_num, msg);
+}
+
+// ---------------------------------------------------------------------------
+// Consume module (§4.4.2)
+// ---------------------------------------------------------------------------
+
+ConsumerSession* KafkaDirectBroker::SessionFor(
+    const net::MessageStreamPtr& conn) {
+  auto it = consumer_sessions_.find(conn.get());
+  if (it != consumer_sessions_.end()) return it->second.get();
+  auto session = std::make_unique<ConsumerSession>(rnic_);
+  ConsumerSession* raw = session.get();
+  consumer_sessions_[conn.get()] = std::move(session);
+  return raw;
+}
+
+uint64_t KafkaDirectBroker::ReadablePosition(PartitionState& ps,
+                                             int seg_index) const {
+  const kafka::Segment& seg = *ps.log.segments()[seg_index];
+  int64_t hwm = ps.log.high_watermark();
+  if (hwm <= seg.base_offset()) return 0;
+  if (hwm >= seg.next_offset()) return seg.size();
+  auto pos = seg.PositionOf(hwm);
+  return pos.ok() ? pos.value() : seg.size();
+}
+
+void KafkaDirectBroker::UpdateConsumeSlots(PartitionState& ps) {
+  KdPartitionExt* ext = Ext(ps);
+  for (ConsumeGrant* grant : ext->consume_grants) {
+    if (grant->slot_index < 0) continue;
+    auto* session = static_cast<ConsumerSession*>(grant->session);
+    const kafka::Segment& seg = *ps.log.segments()[grant->seg_index];
+    WriteSlot(session->slot(grant->slot_index),
+              ReadablePosition(ps, grant->seg_index), !seg.sealed());
+  }
+}
+
+void KafkaDirectBroker::OnHwmAdvanced(PartitionState& ps) {
+  if (config_.rdma_consume) UpdateConsumeSlots(ps);
+}
+
+void KafkaDirectBroker::OnRolled(PartitionState& ps) {
+  if (config_.rdma_consume) UpdateConsumeSlots(ps);
+}
+
+sim::Co<void> KafkaDirectBroker::HandleConsumeAccess(Request req) {
+  kafka::RdmaConsumeAccessRequest areq;
+  kafka::RdmaConsumeAccessResponse resp;
+  if (!kafka::Decode(Slice(req.frame), &areq).ok()) {
+    resp.error = ErrorCode::kInvalidRequest;
+    SendResponse(req.conn, Encode(resp));
+    co_return;
+  }
+  PartitionState* ps = GetPartition(areq.tp);
+  if (ps == nullptr) {
+    resp.error = ErrorCode::kUnknownTopicOrPartition;
+    SendResponse(req.conn, Encode(resp));
+    co_return;
+  }
+  if (!ps->is_leader || !config_.rdma_consume) {
+    resp.error = config_.rdma_consume ? ErrorCode::kNotLeader
+                                      : ErrorCode::kRdmaAccessDenied;
+    SendResponse(req.conn, Encode(resp));
+    co_return;
+  }
+  int64_t leo = ps->log.log_end_offset();
+  if (areq.offset < 0 || areq.offset > leo) {
+    resp.error = ErrorCode::kOffsetOutOfRange;
+    SendResponse(req.conn, Encode(resp));
+    co_return;
+  }
+  int seg_index;
+  if (areq.offset == leo) {
+    seg_index = static_cast<int>(ps->log.segments().size()) - 1;
+  } else {
+    seg_index = ps->log.SegmentIndexFor(areq.offset);
+    if (seg_index < 0) {
+      resp.error = ErrorCode::kOffsetOutOfRange;
+      SendResponse(req.conn, Encode(resp));
+      co_return;
+    }
+  }
+  kafka::Segment& seg = *ps->log.segments()[seg_index];
+  uint64_t start_pos;
+  if (areq.offset >= seg.next_offset()) {
+    start_pos = seg.size();
+  } else {
+    auto pos_or = seg.PositionOf(areq.offset);
+    start_pos = pos_or.ok() ? pos_or.value() : seg.size();
+  }
+  // Map the file and register it with the RNIC (mmap + ibv_reg_mr).
+  co_await Work(rnic_.RegistrationCost(seg.capacity()));
+  auto mr_or = rnic_.RegisterMemory(seg.data(), seg.capacity(),
+                                    rdma::kAccessRemoteRead);
+  if (!mr_or.ok()) {
+    resp.error = ErrorCode::kInvalidRequest;
+    SendResponse(req.conn, Encode(resp));
+    co_return;
+  }
+  auto grant = std::make_unique<ConsumeGrant>();
+  grant->file_ref = next_file_ref_++;
+  grant->ps = ps;
+  grant->seg_index = seg_index;
+  grant->mr = mr_or.value();
+
+  resp.error = ErrorCode::kNone;
+  resp.file_ref = grant->file_ref;
+  resp.addr = grant->mr->addr();
+  resp.rkey = grant->mr->rkey();
+  resp.start_pos = start_pos;
+  resp.start_offset = areq.offset;
+  resp.last_readable = ReadablePosition(*ps, seg_index);
+  resp.is_mutable = !seg.sealed();
+  if (resp.is_mutable) {
+    ConsumerSession* session = SessionFor(req.conn);
+    int32_t slot = session->AllocSlot();
+    if (slot < 0) {
+      resp.error = ErrorCode::kRdmaAccessDenied;  // out of slots
+      SendResponse(req.conn, Encode(resp));
+      co_return;
+    }
+    grant->session = session;
+    grant->slot_index = slot;
+    WriteSlot(session->slot(slot), resp.last_readable, true);
+    resp.slot_index = static_cast<uint32_t>(slot);
+    resp.slot_region_addr = session->mr->addr();
+    resp.slot_rkey = session->mr->rkey();
+  }
+  Ext(*ps)->consume_grants.push_back(grant.get());
+  consume_grants_[grant->file_ref] = std::move(grant);
+  SendResponse(req.conn, Encode(resp));
+}
+
+CommitSlot* KafkaDirectBroker::GetOrCreateCommitSlot(
+    PartitionState& ps, const std::string& group) {
+  KdPartitionExt* ext = Ext(ps);
+  auto it = ext->commit_slots.find(group);
+  if (it != ext->commit_slots.end()) return it->second.get();
+  auto slot = std::make_unique<CommitSlot>();
+  slot->value.resize(8);
+  EncodeFixed64(slot->value.data(), static_cast<uint64_t>(int64_t{-1}));
+  slot->mr = rnic_.RegisterMemory(slot->value.data(), 8,
+                                  rdma::kAccessRemoteWrite |
+                                      rdma::kAccessRemoteRead)
+                 .value();
+  CommitSlot* raw = slot.get();
+  ext->commit_slots[group] = std::move(slot);
+  return raw;
+}
+
+sim::Co<void> KafkaDirectBroker::HandleCommitAccess(Request req) {
+  kafka::RdmaCommitAccessRequest areq;
+  kafka::RdmaCommitAccessResponse resp;
+  if (!kafka::Decode(Slice(req.frame), &areq).ok()) {
+    resp.error = ErrorCode::kInvalidRequest;
+    SendResponse(req.conn, Encode(resp));
+    co_return;
+  }
+  PartitionState* ps = GetPartition(areq.tp);
+  if (ps == nullptr || !ps->is_leader) {
+    resp.error = ps == nullptr ? ErrorCode::kUnknownTopicOrPartition
+                               : ErrorCode::kNotLeader;
+    SendResponse(req.conn, Encode(resp));
+    co_return;
+  }
+  CommitSlot* slot = GetOrCreateCommitSlot(*ps, areq.group);
+  // Seed the slot with any offset committed over TCP before the upgrade.
+  auto it = ps->committed_offsets.find(areq.group);
+  if (it != ps->committed_offsets.end()) {
+    EncodeFixed64(slot->value.data(), static_cast<uint64_t>(it->second));
+  }
+  resp.error = ErrorCode::kNone;
+  resp.slot_addr = slot->mr->addr();
+  resp.slot_rkey = slot->mr->rkey();
+  SendResponse(req.conn, Encode(resp));
+}
+
+sim::Co<void> KafkaDirectBroker::HandleCommitOffset(Request req) {
+  // Keep the RDMA slot coherent when legacy TCP commits arrive.
+  kafka::CommitOffsetRequest creq;
+  if (kafka::Decode(Slice(req.frame), &creq).ok()) {
+    PartitionState* ps = GetPartition(creq.tp);
+    if (ps != nullptr) {
+      KdPartitionExt* ext = Ext(*ps);
+      auto it = ext->commit_slots.find(creq.group);
+      if (it != ext->commit_slots.end()) {
+        EncodeFixed64(it->second->value.data(),
+                      static_cast<uint64_t>(creq.offset));
+      }
+    }
+  }
+  co_await Broker::HandleCommitOffset(std::move(req));
+}
+
+sim::Co<void> KafkaDirectBroker::HandleFetchCommittedOffset(Request req) {
+  kafka::FetchCommittedOffsetRequest creq;
+  if (kafka::Decode(Slice(req.frame), &creq).ok()) {
+    PartitionState* ps = GetPartition(creq.tp);
+    if (ps != nullptr) {
+      KdPartitionExt* ext = Ext(*ps);
+      auto it = ext->commit_slots.find(creq.group);
+      if (it != ext->commit_slots.end()) {
+        // The slot is authoritative once RDMA commits are enabled: the
+        // broker reads the memory the consumers write one-sidedly.
+        kafka::FetchCommittedOffsetResponse resp;
+        resp.offset = static_cast<int64_t>(
+            DecodeFixed64(it->second->value.data()));
+        co_await Work(cost().kafka.fetch_process_ns);
+        SendResponse(req.conn, Encode(resp));
+        co_return;
+      }
+    }
+  }
+  co_await Broker::HandleFetchCommittedOffset(std::move(req));
+}
+
+sim::Co<void> KafkaDirectBroker::HandleUnregister(Request req) {
+  kafka::RdmaUnregisterRequest ureq;
+  kafka::RdmaUnregisterResponse resp;
+  if (!kafka::Decode(Slice(req.frame), &ureq).ok()) {
+    resp.error = ErrorCode::kInvalidRequest;
+    SendResponse(req.conn, Encode(resp));
+    co_return;
+  }
+  auto it = consume_grants_.find(ureq.file_ref);
+  if (it == consume_grants_.end()) {
+    resp.error = ErrorCode::kInvalidRequest;
+    SendResponse(req.conn, Encode(resp));
+    co_return;
+  }
+  ConsumeGrant* grant = it->second.get();
+  if (grant->slot_index >= 0) {
+    static_cast<ConsumerSession*>(grant->session)
+        ->FreeSlot(grant->slot_index);
+  }
+  std::erase(Ext(*grant->ps)->consume_grants, grant);
+  (void)rnic_.DeregisterMemory(grant->mr);
+  consume_grants_.erase(it);
+  SendResponse(req.conn, Encode(resp));
+}
+
+}  // namespace kd
+}  // namespace kafkadirect

@@ -1,0 +1,250 @@
+// KafkaDirectBroker: the paper's broker extensions (Fig. 2, colored boxes),
+// layered over the unmodified TCP broker:
+//
+//  - RDMA network module (§4.1): accepts RC QP connections, polls shared
+//    completion queues and forwards WriteWithImm arrivals into the shared
+//    request queue;
+//  - RDMA produce module (§4.2.2): per-file 16-bit IDs, exclusive and
+//    shared (FAA-ordered) zero-copy produce, in-order commit enforcement
+//    with hole-timeout abort + access revocation, loopback FAA for TCP
+//    writers to shared files, head-file rotation;
+//  - RDMA push replication (§4.3.2): leader writes committed batches
+//    directly into follower replica files with credit-based flow control
+//    and opportunistic batching of contiguous writes;
+//  - RDMA consume module (§4.4.2): registers TP files for one-sided reads
+//    and maintains per-consumer contiguous metadata-slot regions that track
+//    each mutable file's last readable byte.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "direct/control.h"
+#include "kafka/broker.h"
+#include "rdma/completion_queue.h"
+#include "rdma/queue_pair.h"
+
+namespace kafkadirect {
+namespace kd {
+
+class KafkaDirectBroker;
+
+/// Broker-side state of one RDMA-writable file (a produce grant or a
+/// replication target). Keyed by the 16-bit file ID carried in immediates.
+struct RdmaFileState {
+  uint16_t file_id = 0;
+  kafka::PartitionState* ps = nullptr;
+  int seg_index = 0;                 // which segment of the partition log
+  rdma::MemoryRegionPtr mr;          // write access for the producer(s)
+  bool shared = false;               // shared FAA mode vs exclusive
+  bool replica = false;              // written by push replication
+  bool aborted = false;
+  uint32_t owner_qp = 0;             // exclusive mode: the granted QP
+
+  // Shared mode: the Fig. 5 atomic word, RDMA-accessible.
+  std::vector<uint8_t> atomic_word;
+  rdma::MemoryRegionPtr atomic_mr;
+
+  // In-order commit enforcement (§4.2.2).
+  uint16_t next_expected_order = 0;
+  uint16_t arrival_seq = 0;          // order assigned to exclusive arrivals
+  uint64_t next_commit_pos = 0;
+  struct PendingWrite {
+    uint32_t byte_len;
+    uint32_t qp_num;
+  };
+  std::map<uint16_t, PendingWrite> pending;  // out-of-order arrivals
+  bool hole_watch_armed = false;
+  /// Pulsed whenever next_expected_order advances (or the file aborts).
+  std::unique_ptr<sim::Event> commit_event;
+};
+
+/// One committed range of the leader's head file awaiting replication.
+struct ReplEntry {
+  int seg = 0;
+  uint64_t pos = 0;
+  uint32_t len = 0;
+};
+
+/// Leader-side push-replication session to one follower for one TP.
+struct PushSession {
+  kafka::TopicPartitionId tp;
+  KafkaDirectBroker* follower = nullptr;
+  net::MessageStreamPtr ctrl;        // TCP control channel (handshake)
+  std::shared_ptr<rdma::CompletionQueue> send_cq;
+  std::shared_ptr<rdma::CompletionQueue> recv_cq;
+  std::shared_ptr<rdma::QueuePair> qp;
+  uint16_t file_id = 0;
+  uint64_t remote_addr = 0;
+  uint32_t rkey = 0;
+  uint64_t capacity = 0;
+  int seg_index = 0;                 // follower segment this maps
+  uint16_t next_order = 0;
+  std::unique_ptr<sim::Semaphore> credits;
+  std::vector<std::vector<uint8_t>> ctrl_bufs;  // recv buffers for credits
+  std::unique_ptr<sim::Channel<ReplEntry>> queue;  // committed ranges
+};
+
+/// One grant of RDMA read access to one consumer for one file.
+struct ConsumeGrant {
+  uint32_t file_ref = 0;
+  kafka::PartitionState* ps = nullptr;
+  int seg_index = 0;
+  rdma::MemoryRegionPtr mr;
+  // Metadata slot (mutable files only).
+  void* session = nullptr;           // owning ConsumerSession
+  int32_t slot_index = -1;
+};
+
+/// Per-consumer contiguous metadata-slot region (Fig. 9).
+struct ConsumerSession {
+  static constexpr uint32_t kNumSlots = 64;
+  static constexpr uint32_t kSlotSize = 16;
+
+  explicit ConsumerSession(rdma::Rnic& rnic);
+
+  std::vector<uint8_t> region;
+  rdma::MemoryRegionPtr mr;
+  std::vector<bool> used;
+
+  /// Lowest free slot (the broker "tries to keep assigned slots in close
+  /// proximity to each other", §4.4.2).
+  int32_t AllocSlot();
+  void FreeSlot(int32_t index);
+  uint8_t* slot(int32_t index) { return region.data() + index * kSlotSize; }
+};
+
+/// Slot contents: {u64 last_readable, u8 mutable flag}.
+void WriteSlot(uint8_t* slot, uint64_t last_readable, bool is_mutable);
+uint64_t SlotLastReadable(const uint8_t* slot);
+bool SlotMutable(const uint8_t* slot);
+
+/// EXTENSION (§5.4 future work): an RDMA-writable 8-byte committed-offset
+/// slot per consumer group, making offset commits one-sided writes.
+struct CommitSlot {
+  std::vector<uint8_t> value;  // i64 LE committed offset, -1 = none
+  rdma::MemoryRegionPtr mr;
+};
+
+/// KafkaDirect per-partition module state.
+struct KdPartitionExt : public kafka::PartitionExt {
+  RdmaFileState* produce_file = nullptr;     // current head-file grant
+  std::vector<std::unique_ptr<PushSession>> push_sessions;
+  std::vector<ConsumeGrant*> consume_grants;  // all grants on this TP
+  std::map<std::string, std::unique_ptr<CommitSlot>> commit_slots;
+};
+
+class KafkaDirectBroker : public kafka::Broker {
+ public:
+  KafkaDirectBroker(sim::Simulator& sim, net::Fabric& fabric,
+                    tcpnet::Network& tcp, kafka::BrokerConfig config);
+  ~KafkaDirectBroker() override;
+
+  Status Start() override;
+
+  /// Out-of-band connection-manager exchange: accepts a client QP and
+  /// returns the broker-side QP bound to the broker's shared CQs. Stands in
+  /// for the rdma_cm handshake the paper's "RDMA connection string" implies.
+  sim::Co<StatusOr<std::shared_ptr<rdma::QueuePair>>> AcceptRdma(
+      std::shared_ptr<rdma::QueuePair> client_qp);
+
+  void StartPushReplication(
+      const kafka::TopicPartitionId& tp,
+      const std::vector<kafka::Broker*>& followers) override;
+
+  /// RDMA-originated requests processed (offloaded consume never counts —
+  /// that is the point of §5.3).
+  uint64_t rdma_acks_sent() const { return rdma_acks_sent_; }
+
+ protected:
+  sim::Co<void> HandleExtendedRequest(Request req) override;
+
+  /// Offset reads/writes consult the RDMA commit slot when one exists.
+  sim::Co<void> HandleCommitOffset(Request req) override;
+  sim::Co<void> HandleFetchCommittedOffset(Request req) override;
+
+  /// Overridden so TCP produce requests to an RDMA-shared file reserve
+  /// their region with a loopback FAA, keeping the broker's view consistent
+  /// with remote producers (§4.2.2).
+  sim::Co<StatusOr<int64_t>> CommitBatch(kafka::PartitionState* ps,
+                                         std::vector<uint8_t> batch,
+                                         bool charge_copy) override;
+  void OnAppended(kafka::PartitionState& ps, uint64_t pos, uint64_t len,
+                  int64_t base_offset, uint32_t record_count) override;
+  void OnHwmAdvanced(kafka::PartitionState& ps) override;
+  void OnRolled(kafka::PartitionState& ps) override;
+
+ private:
+  // --- RDMA network module ---
+  sim::Co<void> RdmaPollerLoop();
+  sim::Co<void> WatchQpFailure(std::shared_ptr<rdma::QueuePair> qp);
+  void PostCtrlRecvs(const std::shared_ptr<rdma::QueuePair>& qp, int n);
+  void SendCtrl(uint32_t qp_num, const CtrlMsg& msg);
+
+  // --- RDMA produce module ---
+  KdPartitionExt* Ext(kafka::PartitionState& ps);
+  sim::Co<void> HandleProduceAccess(Request req);
+  sim::Co<void> HandleRdmaProduceArrival(Request req);
+  sim::Co<void> CommitRdmaWrite(RdmaFileState* fs, uint16_t order,
+                                uint32_t byte_len, uint32_t qp_num);
+  sim::Co<void> HoleWatchdog(RdmaFileState* fs, uint16_t expected);
+  RdmaFileState* CreateFileState(kafka::PartitionState& ps, bool shared,
+                                 bool replica);
+  /// Broker-side FAA against a shared file's atomic word; returns the
+  /// pre-increment word.
+  sim::Co<StatusOr<uint64_t>> LoopbackFaa(RdmaFileState* fs, uint64_t size);
+  /// True once the write claiming `order` has been committed.
+  static bool OrderCommitted(const RdmaFileState* fs, uint16_t order) {
+    uint16_t diff = static_cast<uint16_t>(fs->next_expected_order - order);
+    return diff >= 1 && diff < 0x8000;
+  }
+  void AbortFile(RdmaFileState* fs, kafka::ErrorCode error);
+  /// Sends the produce ack once `required` is covered by the HWM.
+  sim::Co<void> AckWhenCommitted(kafka::PartitionState* ps, uint32_t qp_num,
+                                 uint16_t order, int64_t base,
+                                 int64_t required);
+
+  // --- push replication (leader side) ---
+  sim::Co<void> PushReplicatorLoop(kafka::TopicPartitionId tp,
+                                   kafka::Broker* follower_base);
+  sim::Co<void> PushCreditDrainer(PushSession* session,
+                                  kafka::PartitionState* ps);
+  sim::Co<Status> PushHandshake(PushSession* session,
+                                kafka::PartitionState* ps,
+                                uint16_t stale_file_id);
+
+  // --- push replication (follower side) ---
+  sim::Co<void> HandleReplicaAccess(Request req);
+  void GrantCredit(uint32_t qp_num, kafka::PartitionState* ps);
+
+  // --- consume module ---
+  sim::Co<void> HandleConsumeAccess(Request req);
+  sim::Co<void> HandleUnregister(Request req);
+  sim::Co<void> HandleCommitAccess(Request req);
+  CommitSlot* GetOrCreateCommitSlot(kafka::PartitionState& ps,
+                                    const std::string& group);
+  ConsumerSession* SessionFor(const net::MessageStreamPtr& conn);
+  void UpdateConsumeSlots(kafka::PartitionState& ps);
+  uint64_t ReadablePosition(kafka::PartitionState& ps, int seg_index) const;
+
+  std::shared_ptr<rdma::CompletionQueue> rdma_cq_;   // shared recv/send CQ
+  std::map<uint32_t, std::shared_ptr<rdma::QueuePair>> rdma_qps_;
+  std::map<uint16_t, std::unique_ptr<RdmaFileState>> rdma_files_;
+  uint16_t next_file_id_ = 1;
+  uint32_t next_file_ref_ = 1;
+  std::map<const net::MessageStream*, std::unique_ptr<ConsumerSession>>
+      consumer_sessions_;
+  std::map<uint32_t, std::unique_ptr<ConsumeGrant>> consume_grants_;
+  std::deque<std::vector<uint8_t>> recv_buf_pool_;
+  uint64_t rdma_acks_sent_ = 0;
+  /// Loopback QP pair for the broker's own FAA on shared files (§4.2.2:
+  /// TCP produce to an RDMA-shared file reserves via an atomic to itself).
+  std::shared_ptr<rdma::QueuePair> loop_qp_, loop_peer_qp_;
+  std::shared_ptr<rdma::CompletionQueue> loop_cq_, loop_peer_cq_;
+  std::unique_ptr<sim::AsyncMutex> loop_mu_;
+};
+
+}  // namespace kd
+}  // namespace kafkadirect

@@ -1,0 +1,252 @@
+// Broker: a Kafka storage server, faithful to the architecture in Fig. 2 of
+// the paper:
+//
+//   - network processor threads (default 3) accept TCP connections, frame
+//     requests and enqueue them (step 1) into the shared request queue;
+//   - API worker threads (default 8) dequeue (step 3), verify CRCs, assign
+//     offsets, append to partition logs (step 4) and answer fetches;
+//   - replication: TCP pull (followers run fetch loops against the leader)
+//     advances follower LEOs; the leader's high watermark is the minimum
+//     in-sync LEO, and acks=all produce responses park in purgatory until
+//     the HWM covers them.
+//
+// KafkaDirect's RDMA modules plug in through the virtual extension hooks
+// (HandleExtendedRequest / OnAppended / OnHwmAdvanced / OnRolled) — the
+// TCP datapath is never modified, mirroring the paper's backward
+// compatibility requirement.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/status.h"
+#include "kafka/log.h"
+#include "kafka/protocol.h"
+#include "net/message_stream.h"
+#include "rdma/rnic.h"
+#include "sim/awaitable.h"
+#include "sim/channel.h"
+#include "sim/resource.h"
+#include "sim/semaphore.h"
+#include "sim/task.h"
+#include "tcpnet/tcp.h"
+
+namespace kafkadirect {
+namespace kafka {
+
+struct BrokerConfig {
+  int32_t id = 0;
+  int num_api_workers = 8;
+  int num_network_threads = 3;
+  uint64_t segment_capacity = 64ull << 20;  // paper: 1 GiB, scaled for RAM
+
+  // --- KafkaDirect module toggles (evaluated independently in §5) ---
+  bool rdma_produce = false;
+  bool rdma_replicate = false;
+  bool rdma_consume = false;
+
+  // TCP pull replication.
+  sim::TimeNs replica_fetch_max_wait = 500 * 1000 * 1000;  // 500 ms
+  uint32_t replica_fetch_max_bytes = 4u << 20;
+
+  // RDMA push replication (§4.3.2).
+  uint32_t push_replication_credits = 64;
+  uint64_t replication_max_batch_bytes = 1024;  // paper's chosen default
+
+  // Shared RDMA produce: how long request i waits for request i-1 before
+  // the broker aborts and revokes access (§4.2.2).
+  sim::TimeNs shared_produce_hole_timeout = 5 * 1000 * 1000;  // 5 ms
+};
+
+/// Broker-side runtime counters, used by benches for CPU-load and
+/// empty-fetch measurements.
+struct BrokerStats {
+  uint64_t produce_requests = 0;
+  uint64_t rdma_produce_requests = 0;
+  uint64_t fetch_requests = 0;
+  uint64_t empty_fetch_responses = 0;
+  uint64_t bytes_appended = 0;
+  uint64_t replication_writes = 0;
+};
+
+class Broker;
+
+/// Per-partition extension state owned by subclasses (KafkaDirect modules).
+struct PartitionExt {
+  virtual ~PartitionExt() = default;
+};
+
+/// Broker-side state of one topic partition.
+struct PartitionState {
+  PartitionState(sim::Simulator& sim, TopicPartitionId tp_id,
+                 uint64_t segment_capacity)
+      : tp(std::move(tp_id)), log(segment_capacity), append_mu(sim),
+        leo_advanced(sim), hwm_advanced(sim) {}
+
+  TopicPartitionId tp;
+  PartitionLog log;
+  bool is_leader = true;
+  int32_t leader_id = 0;
+  std::vector<int32_t> replicas;              // includes the leader
+  std::map<int32_t, int64_t> follower_leo;    // leader-side ISR progress
+  sim::AsyncMutex append_mu;                  // one API worker per TP file
+  sim::Event leo_advanced;                    // pulses on append
+  sim::Event hwm_advanced;                    // pulses on HWM advance
+  std::map<std::string, int64_t> committed_offsets;  // consumer groups
+  std::unique_ptr<PartitionExt> ext;          // KafkaDirect module state
+};
+
+class Broker {
+ public:
+  /// A unit of work in the shared request queue. `conn == nullptr` marks an
+  /// RDMA-originated request (a WriteWithImm completion forwarded by the
+  /// RDMA network module, carrying {file_id, order} from the immediate).
+  struct Request {
+    net::MessageStreamPtr conn;
+    std::vector<uint8_t> frame;
+    uint16_t file_id = 0;
+    uint16_t order = 0;
+    uint32_t byte_len = 0;
+    uint32_t qp_num = 0;  // QP the RDMA request arrived on (for acks)
+  };
+
+  Broker(sim::Simulator& sim, net::Fabric& fabric, tcpnet::Network& tcp,
+         BrokerConfig config);
+  virtual ~Broker() = default;
+
+  /// Binds the TCP listener and spawns network processors + API workers.
+  virtual Status Start();
+
+  /// Registers a partition hosted by this broker (called by the Cluster
+  /// controller at topic creation).
+  virtual PartitionState* AddPartition(const TopicPartitionId& tp,
+                                       int32_t leader_id,
+                                       std::vector<int32_t> replicas);
+
+  /// Starts the TCP pull-replication fetcher for a followed partition.
+  void StartReplicaFetcher(const TopicPartitionId& tp,
+                           net::NodeId leader_node);
+
+  /// Starts RDMA push replication from this (leader) broker to the
+  /// followers — implemented by the KafkaDirect broker (§4.3.2).
+  virtual void StartPushReplication(const TopicPartitionId& tp,
+                                    const std::vector<Broker*>& followers);
+
+  /// Installs topic metadata served to clients.
+  void SetTopicMetadata(const std::string& topic,
+                        std::vector<int32_t> leaders);
+
+  /// Serves connections arriving on an extra listener (the OSU-Kafka
+  /// two-sided RDMA transport plugs in here).
+  void ServeListener(std::shared_ptr<net::StreamListener> listener);
+
+  PartitionState* GetPartition(const TopicPartitionId& tp);
+
+  sim::Simulator& simulator() { return sim_; }
+  net::Fabric& fabric() { return fabric_; }
+  tcpnet::Network& tcp() { return tcp_; }
+  rdma::Rnic& rnic() { return rnic_; }
+  net::NodeId node() const { return node_; }
+  int32_t id() const { return config_.id; }
+  const BrokerConfig& config() const { return config_; }
+  const CostModel& cost() const { return fabric_.cost(); }
+  const BrokerStats& stats() const { return stats_; }
+
+  /// Mean fraction of API-worker CPU busy over [0, now].
+  double WorkerUtilization() const {
+    sim::TimeNs now = sim_.Now();
+    if (now <= 0) return 0.0;
+    return static_cast<double>(worker_busy_ns_) /
+           (static_cast<double>(now) * config_.num_api_workers);
+  }
+
+ protected:
+  // --- extension hooks (overridden by the KafkaDirect broker) ---
+
+  /// Handles request types the base broker doesn't know. Default: error
+  /// response for stream requests, drop for RDMA-originated ones.
+  virtual sim::Co<void> HandleExtendedRequest(Request req);
+
+  /// Called (still under the partition append lock) after a batch is
+  /// committed at [pos, pos+len) with assigned base offset.
+  virtual void OnAppended(PartitionState& ps, uint64_t pos, uint64_t len,
+                          int64_t base_offset, uint32_t record_count);
+
+  /// Called when the partition's high watermark advances.
+  virtual void OnHwmAdvanced(PartitionState& ps);
+
+  /// Called when the head file of the partition is sealed and rolled.
+  virtual void OnRolled(PartitionState& ps);
+
+  // --- shared machinery available to subclasses ---
+
+  /// Appends a validated batch (assigning offsets) under the partition
+  /// lock, charging CRC + copy costs as requested; fires replication and
+  /// purgatory machinery. Returns the assigned base offset.
+  virtual sim::Co<StatusOr<int64_t>> CommitBatch(PartitionState* ps,
+                                         std::vector<uint8_t> batch,
+                                         bool charge_copy);
+
+  /// Recomputes the leader HWM from follower progress; fires events/hooks.
+  void AdvanceHwm(PartitionState* ps);
+
+  /// Queues a response through the network-thread pool. `zero_copy` marks
+  /// sendfile-style data responses (fetch data from mapped files).
+  void SendResponse(net::MessageStreamPtr conn, std::vector<uint8_t> frame,
+                    bool zero_copy = false);
+
+  /// Charges `ns` of API-worker CPU time (tracked for utilization stats).
+  sim::Co<void> Work(sim::TimeNs ns);
+
+  /// Enqueues into the shared request queue (used by RDMA modules, step 2).
+  void EnqueueRequest(Request req) { requests_.Push(std::move(req)); }
+
+  sim::Co<void> ApiWorkerLoop();
+  sim::Co<void> AcceptLoop(std::shared_ptr<net::StreamListener> listener);
+  sim::Co<void> ConnectionReader(net::MessageStreamPtr conn);
+
+  sim::Co<void> HandleProduce(Request req);
+  sim::Co<void> HandleFetch(Request req);
+  sim::Co<void> HandleMetadata(Request req);
+  virtual sim::Co<void> HandleCommitOffset(Request req);
+  virtual sim::Co<void> HandleFetchCommittedOffset(Request req);
+
+  /// Builds and sends a fetch response for a request whose data is ready.
+  sim::Co<void> CompleteFetch(net::MessageStreamPtr conn, FetchRequest freq,
+                              PartitionState* ps);
+  /// Parks a long-poll fetch until data is visible or the wait expires.
+  sim::Co<void> ParkedFetch(net::MessageStreamPtr conn, FetchRequest freq,
+                            PartitionState* ps);
+
+  sim::Co<void> ReplicaFetcherLoop(TopicPartitionId tp,
+                                   net::NodeId leader_node);
+
+  sim::Co<void> RespondWhenCommitted(net::MessageStreamPtr conn,
+                                     PartitionState* ps,
+                                     int64_t required_offset,
+                                     int64_t base_offset);
+
+  sim::Simulator& sim_;
+  net::Fabric& fabric_;
+  tcpnet::Network& tcp_;
+  BrokerConfig config_;
+  net::NodeId node_;
+  rdma::Rnic rnic_;
+
+  sim::Channel<Request> requests_;
+  sim::Resource net_threads_;
+  sim::TimeNs worker_busy_ns_ = 0;
+
+  std::map<TopicPartitionId, std::unique_ptr<PartitionState>> partitions_;
+  std::map<std::string, std::vector<int32_t>> topic_metadata_;
+  std::shared_ptr<tcpnet::TcpListener> listener_;
+  BrokerStats stats_;
+  bool started_ = false;
+};
+
+}  // namespace kafka
+}  // namespace kafkadirect

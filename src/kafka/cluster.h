@@ -1,0 +1,67 @@
+// Cluster: bootstrap/controller — creates brokers on the fabric, assigns
+// partition leaders round-robin, wires up replication (TCP pull or, for
+// KafkaDirect deployments, RDMA push) and distributes topic metadata.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kafka/broker.h"
+
+namespace kafkadirect {
+namespace kafka {
+
+class Cluster {
+ public:
+  using BrokerFactory = std::function<std::unique_ptr<Broker>(
+      sim::Simulator&, net::Fabric&, tcpnet::Network&, BrokerConfig)>;
+
+  Cluster(sim::Simulator& sim, net::Fabric& fabric, tcpnet::Network& tcp,
+          BrokerConfig broker_template, int num_brokers)
+      : sim_(sim), fabric_(fabric), tcp_(tcp),
+        broker_template_(broker_template), num_brokers_(num_brokers) {}
+
+  /// Installs a factory producing Broker subclasses (the KafkaDirect
+  /// broker); must be called before Start().
+  void set_broker_factory(BrokerFactory factory) {
+    factory_ = std::move(factory);
+  }
+
+  /// Creates and starts all brokers.
+  Status Start();
+
+  /// Creates a topic with `partitions` partitions, each replicated
+  /// `replication_factor` times. Leaders are assigned round-robin.
+  /// Replication runs over TCP pull, or RDMA push when the broker template
+  /// enables rdma_replicate.
+  Status CreateTopic(const std::string& topic, int partitions,
+                     int replication_factor);
+
+  Broker* broker(int id) { return brokers_[id].get(); }
+  int num_brokers() const { return num_brokers_; }
+
+  /// Leader broker of a partition (topics created through this cluster).
+  Broker* LeaderOf(const TopicPartitionId& tp);
+  net::NodeId LeaderNodeOf(const TopicPartitionId& tp) {
+    return LeaderOf(tp)->node();
+  }
+
+  sim::Simulator& simulator() { return sim_; }
+  net::Fabric& fabric() { return fabric_; }
+  tcpnet::Network& tcp() { return tcp_; }
+
+ private:
+  sim::Simulator& sim_;
+  net::Fabric& fabric_;
+  tcpnet::Network& tcp_;
+  BrokerConfig broker_template_;
+  int num_brokers_;
+  BrokerFactory factory_;
+  std::vector<std::unique_ptr<Broker>> brokers_;
+  std::map<std::string, std::vector<int32_t>> topic_leaders_;
+};
+
+}  // namespace kafka
+}  // namespace kafkadirect

@@ -1,0 +1,107 @@
+#include "kafka/consumer.h"
+
+#include "sim/awaitable.h"
+
+namespace kafkadirect {
+namespace kafka {
+
+sim::Co<Status> TcpConsumer::Connect(net::NodeId leader_node) {
+  auto conn_or = co_await tcp_.Connect(node_, leader_node, kKafkaPort);
+  if (!conn_or.ok()) co_return conn_or.status();
+  conn_ = conn_or.value();
+  co_return Status::OK();
+}
+
+void TcpConsumer::Close() {
+  if (conn_ != nullptr) conn_->Close();
+}
+
+sim::Co<StatusOr<std::vector<OwnedRecord>>> TcpConsumer::PollImpl(
+    TopicPartitionId tp, uint32_t max_bytes, sim::TimeNs max_wait_ns) {
+  if (conn_ == nullptr || conn_->closed()) {
+    co_return Status::Disconnected("consumer not connected");
+  }
+  FetchRequest req;
+  req.tp = tp;
+  req.offset = position_;
+  req.max_bytes = max_bytes;
+  req.max_wait_ns = max_wait_ns;
+  KD_CO_RETURN_IF_ERROR(co_await conn_->Send(Encode(req), false));
+  auto frame = co_await conn_->Recv();
+  if (!frame.ok()) co_return frame.status();
+  FetchResponse resp;
+  KD_CO_RETURN_IF_ERROR(Decode(Slice(frame.value()), &resp));
+  if (resp.error != ErrorCode::kNone) {
+    co_return Status::Internal(std::string("fetch failed: ") +
+                               ErrorCodeName(resp.error));
+  }
+  std::vector<OwnedRecord> out;
+  if (resp.batches.empty()) {
+    empty_polls_++;
+    co_return out;
+  }
+  const CostModel& cm = tcp_.cost();
+  // Consumer API processing + materializing records into owned buffers.
+  co_await sim::Delay(
+      sim_, cm.kafka.consumer_api_ns +
+                static_cast<sim::TimeNs>(
+                    cm.kafka.consumer_copy_ns_per_byte *
+                    static_cast<double>(resp.batches.size())));
+  Slice rest(resp.batches);
+  while (!rest.empty()) {
+    auto view_or = RecordBatchView::Parse(rest);
+    if (!view_or.ok()) co_return view_or.status();
+    const RecordBatchView& view = view_or.value();
+    KD_CO_RETURN_IF_ERROR(view.ForEach([&](const RecordView& r) {
+      if (r.offset < position_) return;  // batch prefix before our position
+      OwnedRecord rec;
+      rec.offset = r.offset;
+      rec.timestamp = r.timestamp;
+      rec.key = r.key.ToString();
+      rec.value = r.value.ToString();
+      fetched_bytes_ += r.key.size() + r.value.size();
+      out.push_back(std::move(rec));
+    }));
+    rest.RemovePrefix(view.total_size());
+  }
+  fetched_records_ += out.size();
+  if (!out.empty()) position_ = out.back().offset + 1;
+  co_return out;
+}
+
+sim::Co<Status> TcpConsumer::CommitOffsetImpl(TopicPartitionId tp,
+                                              std::string group,
+                                              int64_t offset) {
+  CommitOffsetRequest req;
+  req.tp = tp;
+  req.group = group;
+  req.offset = offset;
+  KD_CO_RETURN_IF_ERROR(co_await conn_->Send(Encode(req), false));
+  auto frame = co_await conn_->Recv();
+  if (!frame.ok()) co_return frame.status();
+  CommitOffsetResponse resp;
+  KD_CO_RETURN_IF_ERROR(Decode(Slice(frame.value()), &resp));
+  if (resp.error != ErrorCode::kNone) {
+    co_return Status::Internal("commit offset failed");
+  }
+  co_return Status::OK();
+}
+
+sim::Co<StatusOr<int64_t>> TcpConsumer::FetchCommittedOffsetImpl(
+    TopicPartitionId tp, std::string group) {
+  FetchCommittedOffsetRequest req;
+  req.tp = tp;
+  req.group = group;
+  KD_CO_RETURN_IF_ERROR(co_await conn_->Send(Encode(req), false));
+  auto frame = co_await conn_->Recv();
+  if (!frame.ok()) co_return frame.status();
+  FetchCommittedOffsetResponse resp;
+  KD_CO_RETURN_IF_ERROR(Decode(Slice(frame.value()), &resp));
+  if (resp.error != ErrorCode::kNone) {
+    co_return Status::Internal("fetch committed offset failed");
+  }
+  co_return resp.offset;
+}
+
+}  // namespace kafka
+}  // namespace kafkadirect

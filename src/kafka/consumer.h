@@ -1,0 +1,91 @@
+// TcpConsumer: the original Kafka consumer client — a poll loop issuing
+// fetch requests at its current position, including when no new data exists
+// (the "empty fetch request" CPU drain quantified in §5.3).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/status.h"
+#include "kafka/protocol.h"
+#include "kafka/record.h"
+#include "net/message_stream.h"
+#include "sim/task.h"
+#include "tcpnet/tcp.h"
+
+namespace kafkadirect {
+namespace kafka {
+
+/// A record materialized into consumer-owned memory.
+struct OwnedRecord {
+  int64_t offset = 0;
+  int64_t timestamp = 0;
+  std::string key;
+  std::string value;
+};
+
+class TcpConsumer {
+ public:
+  TcpConsumer(sim::Simulator& sim, tcpnet::Network& tcp, net::NodeId node)
+      : sim_(sim), tcp_(tcp), node_(node) {}
+
+  sim::Co<Status> Connect(net::NodeId leader_node);
+
+  /// Uses an externally-established channel (e.g. the OSU two-sided RDMA
+  /// transport) instead of kernel TCP.
+  void ConnectWith(net::MessageStreamPtr conn) { conn_ = std::move(conn); }
+
+  void Seek(int64_t offset) { position_ = offset; }
+  int64_t position() const { return position_; }
+
+  /// One fetch round trip from the current position; advances the position
+  /// past the returned records. Empty result = no new data.
+  /// (Non-coroutine shims: arguments are copied before the coroutine
+  /// starts; see DESIGN.md on GCC coroutine-parameter handling.)
+  sim::Co<StatusOr<std::vector<OwnedRecord>>> Poll(
+      const TopicPartitionId& tp, uint32_t max_bytes = 1 << 20,
+      sim::TimeNs max_wait_ns = 0) {
+    return PollImpl(tp, max_bytes, max_wait_ns);
+  }
+
+  /// Consumer-group offset commit (over TCP even in KafkaDirect, §5.4).
+  sim::Co<Status> CommitOffset(const TopicPartitionId& tp,
+                               const std::string& group, int64_t offset) {
+    return CommitOffsetImpl(tp, group, offset);
+  }
+  sim::Co<StatusOr<int64_t>> FetchCommittedOffset(const TopicPartitionId& tp,
+                                                  const std::string& group) {
+    return FetchCommittedOffsetImpl(tp, group);
+  }
+
+  void Close();
+
+  uint64_t fetched_records() const { return fetched_records_; }
+
+ private:
+  sim::Co<StatusOr<std::vector<OwnedRecord>>> PollImpl(TopicPartitionId tp,
+                                                       uint32_t max_bytes,
+                                                       sim::TimeNs max_wait);
+  sim::Co<Status> CommitOffsetImpl(TopicPartitionId tp, std::string group,
+                                   int64_t offset);
+  sim::Co<StatusOr<int64_t>> FetchCommittedOffsetImpl(TopicPartitionId tp,
+                                                      std::string group);
+
+ public:
+  uint64_t fetched_bytes() const { return fetched_bytes_; }
+  uint64_t empty_polls() const { return empty_polls_; }
+
+ private:
+  sim::Simulator& sim_;
+  tcpnet::Network& tcp_;
+  net::NodeId node_;
+  net::MessageStreamPtr conn_;
+  int64_t position_ = 0;
+  uint64_t fetched_records_ = 0;
+  uint64_t fetched_bytes_ = 0;
+  uint64_t empty_polls_ = 0;
+};
+
+}  // namespace kafka
+}  // namespace kafkadirect

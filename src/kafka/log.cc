@@ -1,0 +1,91 @@
+#include "kafka/log.h"
+
+#include "common/logging.h"
+#include "kafka/record.h"
+
+namespace kafkadirect {
+namespace kafka {
+
+Status PartitionLog::Append(Slice batch, uint32_t record_count) {
+  if (batch.size() > head().capacity()) {
+    return Status::InvalidArgument("batch larger than segment capacity");
+  }
+  if (batch.size() > head().remaining()) {
+    Roll();
+  }
+  return head().Append(batch, record_count);
+}
+
+void PartitionLog::Roll() {
+  head().Seal();
+  segments_.push_back(std::make_unique<Segment>(head().next_offset(),
+                                                segment_capacity_));
+}
+
+Segment* PartitionLog::SegmentFor(int64_t offset) {
+  int idx = SegmentIndexFor(offset);
+  return idx < 0 ? nullptr : segments_[idx].get();
+}
+
+int PartitionLog::SegmentIndexFor(int64_t offset) const {
+  if (offset < 0 || offset >= log_end_offset()) return -1;
+  // Few segments per log; linear scan from the back is fine and typical
+  // accesses are near the head.
+  for (int i = static_cast<int>(segments_.size()) - 1; i >= 0; i--) {
+    if (offset >= segments_[i]->base_offset()) {
+      if (offset < segments_[i]->next_offset()) return i;
+      return -1;  // inside a gap (cannot happen: offsets are contiguous)
+    }
+  }
+  return -1;
+}
+
+StatusOr<std::vector<uint8_t>> PartitionLog::Read(int64_t offset,
+                                                  uint64_t max_bytes,
+                                                  int64_t limit_offset) const {
+  std::vector<uint8_t> out;
+  if (offset < 0 || offset > log_end_offset()) {
+    return Status::OutOfRange("fetch offset out of range");
+  }
+  if (offset >= limit_offset) return out;  // nothing visible yet
+  int idx = SegmentIndexFor(offset);
+  if (idx < 0) return Status::OutOfRange("fetch offset not found");
+  int64_t cur = offset;
+  while (cur < limit_offset && out.size() < max_bytes) {
+    const Segment& seg = *segments_[idx];
+    auto pos_or = seg.PositionOf(cur);
+    if (!pos_or.ok()) break;
+    uint64_t pos = pos_or.value();
+    // Emit whole batches from this segment.
+    while (cur < limit_offset && out.size() < max_bytes &&
+           pos < seg.size()) {
+      Slice rest(seg.data() + pos, seg.size() - pos);
+      auto size_or = RecordBatchView::PeekBatchSize(rest);
+      if (!size_or.ok()) return size_or.status();
+      uint64_t bsize = size_or.value();
+      KD_CHECK(pos + bsize <= seg.size()) << "torn batch in committed log";
+      RecordBatchView view =
+          RecordBatchView::ParseUnchecked(rest).value();
+      if (view.last_offset() >= limit_offset) {
+        // Batch extends past the visibility limit; stop before it.
+        cur = limit_offset;
+        break;
+      }
+      // Always return at least one batch even if it exceeds max_bytes
+      // (Kafka semantics: a fetch can always make progress).
+      out.insert(out.end(), rest.data(), rest.data() + bsize);
+      pos += bsize;
+      cur = view.last_offset() + 1;
+    }
+    if (cur >= limit_offset || out.size() >= max_bytes) break;
+    // Move to the next segment.
+    if (idx + 1 >= static_cast<int>(segments_.size())) break;
+    idx++;
+    if (segments_[idx]->size() == 0) break;
+    cur = segments_[idx]->base_offset();
+  }
+  return out;
+}
+
+}  // namespace kafka
+}  // namespace kafkadirect

@@ -1,0 +1,73 @@
+// PartitionLog: the segmented append-only log of one topic partition
+// (Fig. 1 of the paper): sealed immutable files plus one mutable head file,
+// a log end offset (LEO) and a high watermark (HWM) bounding what consumers
+// may read.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "kafka/segment.h"
+
+namespace kafkadirect {
+namespace kafka {
+
+class PartitionLog {
+ public:
+  explicit PartitionLog(uint64_t segment_capacity)
+      : segment_capacity_(segment_capacity) {
+    segments_.push_back(std::make_unique<Segment>(0, segment_capacity_));
+  }
+
+  /// Offset the next record will receive.
+  int64_t log_end_offset() const { return head().next_offset(); }
+
+  /// Last offset consumers may read (exclusive); advanced after the
+  /// configured replication level is reached.
+  int64_t high_watermark() const { return high_watermark_; }
+  void SetHighWatermark(int64_t hwm) {
+    if (hwm > high_watermark_) high_watermark_ = hwm;
+  }
+
+  Segment& head() { return *segments_.back(); }
+  const Segment& head() const { return *segments_.back(); }
+  const std::vector<std::unique_ptr<Segment>>& segments() const {
+    return segments_;
+  }
+
+  /// Appends a batch, rolling to a new head file first if it doesn't fit.
+  Status Append(Slice batch, uint32_t record_count);
+
+  /// Commits RDMA-written bytes sitting in the head file (see Segment).
+  Status CommitInPlace(uint64_t pos, uint64_t len, uint32_t record_count) {
+    return head().CommitInPlace(pos, len, record_count);
+  }
+
+  /// Seals the head file and opens a new one.
+  void Roll();
+
+  /// Segment containing `offset`; nullptr if out of range.
+  Segment* SegmentFor(int64_t offset);
+
+  /// Index of the segment containing `offset` (-1 when out of range).
+  int SegmentIndexFor(int64_t offset) const;
+
+  /// Reads complete batches starting at `offset`, up to `max_bytes` and not
+  /// beyond `limit_offset` (HWM for consumers, LEO for replica fetchers).
+  /// Returns the concatenated batch bytes (possibly empty).
+  StatusOr<std::vector<uint8_t>> Read(int64_t offset, uint64_t max_bytes,
+                                      int64_t limit_offset) const;
+
+  uint64_t segment_capacity() const { return segment_capacity_; }
+
+ private:
+  uint64_t segment_capacity_;
+  int64_t high_watermark_ = 0;
+  std::vector<std::unique_ptr<Segment>> segments_;
+};
+
+}  // namespace kafka
+}  // namespace kafkadirect

@@ -1,0 +1,130 @@
+#include "kafka/producer.h"
+
+namespace kafkadirect {
+namespace kafka {
+
+sim::Co<Status> TcpProducer::Connect(net::NodeId leader_node) {
+  auto conn_or = co_await tcp_.Connect(node_, leader_node, kKafkaPort);
+  if (!conn_or.ok()) co_return conn_or.status();
+  conn_ = conn_or.value();
+  sim::Spawn(sim_, AckReader(alive_, conn_));
+  co_return Status::OK();
+}
+
+Status TcpProducer::ConnectWith(net::MessageStreamPtr conn) {
+  conn_ = std::move(conn);
+  sim::Spawn(sim_, AckReader(alive_, conn_));
+  return Status::OK();
+}
+
+void TcpProducer::Close() {
+  if (conn_ != nullptr) conn_->Close();
+}
+
+sim::Co<Status> TcpProducer::SendOne(TopicPartitionId tp, Slice key,
+                                     Slice value,
+                                     std::shared_ptr<Pending>* out) {
+  if (conn_ == nullptr || conn_->closed()) {
+    co_return Status::Disconnected("producer not connected");
+  }
+  const CostModel& cm = tcp_.cost();
+  sim::TimeNs started_at = sim_.Now();
+  // Producer API entry, the defensive copy of the user's records, and the
+  // handoff from the API thread to the client's sender thread (§5.1:
+  // "Kafka has different threads for API and network workers").
+  co_await sim::Delay(
+      sim_, cm.kafka.producer_api_ns + cm.cpu.handoff_ns +
+                static_cast<sim::TimeNs>(cm.kafka.producer_copy_ns_per_byte *
+                                         static_cast<double>(key.size() +
+                                                             value.size())));
+  RecordBatchBuilder builder(/*base_offset=*/0, sim_.Now(),
+                             config_.producer_id);
+  builder.Add(key, value);
+  ProduceRequest req;
+  req.tp = tp;
+  req.acks = config_.acks;
+  req.batch = builder.Build();
+
+  auto pending = std::make_shared<Pending>();
+  pending->sent_at = started_at;
+  pending->payload_bytes = key.size() + value.size();
+  pending->done = std::make_shared<sim::Event>(sim_);
+  if (config_.acks != 0) pending_.push_back(pending);
+  *out = pending;
+  Status st = co_await conn_->Send(Encode(req), false);
+  if (!st.ok()) co_return st;
+  if (config_.acks == 0) {
+    // Fire-and-forget: count it as done at send time.
+    acked_records_++;
+    acked_bytes_ += pending->payload_bytes;
+    window_.Release();
+    pending->done->Set();
+  }
+  co_return Status::OK();
+}
+
+sim::Co<void> TcpProducer::AckReader(std::shared_ptr<bool> alive,
+                                     net::MessageStreamPtr conn) {
+  while (*alive) {
+    auto frame = co_await conn->Recv();
+    if (!*alive || !frame.ok()) co_return;
+    if (pending_.empty()) continue;  // unexpected; drop
+    auto pending = pending_.front();
+    pending_.pop_front();
+    ProduceResponse resp;
+    if (Decode(Slice(frame.value()), &resp).ok() &&
+        resp.error == ErrorCode::kNone) {
+      acked_records_++;
+      acked_bytes_ += pending->payload_bytes;
+      // Client-observed round trip includes the future-completion wakeup.
+      latencies_.Add(sim_.Now() - pending->sent_at +
+                     tcp_.cost().cpu.wakeup_ns);
+    } else {
+      errors_++;
+    }
+    pending->response = resp;
+    window_.Release();
+    pending->done->Set();
+  }
+}
+
+sim::Co<StatusOr<int64_t>> TcpProducer::ProduceImpl(TopicPartitionId tp,
+                                                    Slice key, Slice value) {
+  co_await window_.Acquire();
+  std::shared_ptr<Pending> pending;
+  Status st = co_await SendOne(tp, key, value, &pending);
+  if (!st.ok()) {
+    window_.Release();
+    co_return st;
+  }
+  co_await pending->done->Wait();
+  // The user thread blocks on the produce future and must be woken.
+  co_await sim::Delay(sim_, tcp_.cost().cpu.wakeup_ns);
+  if (config_.acks == 0) co_return int64_t{-1};
+  if (pending->response.error != ErrorCode::kNone) {
+    co_return Status::Internal(
+        std::string("produce failed: ") +
+        ErrorCodeName(pending->response.error));
+  }
+  co_return pending->response.base_offset;
+}
+
+sim::Co<Status> TcpProducer::ProduceAsyncImpl(TopicPartitionId tp,
+                                              Slice key, Slice value) {
+  co_await window_.Acquire();
+  std::shared_ptr<Pending> pending;
+  Status st = co_await SendOne(tp, key, value, &pending);
+  if (!st.ok()) window_.Release();
+  co_return st;
+}
+
+sim::Co<Status> TcpProducer::Flush() {
+  while (!pending_.empty()) {
+    auto last = pending_.back();
+    co_await last->done->Wait();
+  }
+  co_return Status::OK();
+}
+
+}  // namespace kafka
+}  // namespace kafkadirect

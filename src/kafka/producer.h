@@ -1,0 +1,109 @@
+// TcpProducer: the original Kafka producer client. Builds record batches
+// (copying user data "to prevent mutation", §5.1), sends produce requests
+// over TCP and tracks acknowledgments. Supports a pipelining window for
+// bandwidth experiments.
+#pragma once
+
+#include <deque>
+#include <memory>
+
+#include "common/histogram.h"
+#include "common/status.h"
+#include "kafka/protocol.h"
+#include "kafka/record.h"
+#include "net/message_stream.h"
+#include "sim/awaitable.h"
+#include "sim/semaphore.h"
+#include "sim/task.h"
+#include "tcpnet/tcp.h"
+
+namespace kafkadirect {
+namespace kafka {
+
+struct ProducerConfig {
+  int16_t acks = -1;       // -1 = all in-sync replicas
+  uint64_t producer_id = 0;
+  int max_inflight = 1;    // >1 pipelines requests for bandwidth runs
+};
+
+class TcpProducer {
+ public:
+  TcpProducer(sim::Simulator& sim, tcpnet::Network& tcp, net::NodeId node,
+              ProducerConfig config)
+      : sim_(sim), tcp_(tcp), node_(node), config_(config),
+        window_(sim, config.max_inflight) {}
+
+  /// Connects directly to the partition leader.
+  sim::Co<Status> Connect(net::NodeId leader_node);
+
+  /// Uses an externally-established channel (e.g. the OSU two-sided RDMA
+  /// transport) instead of kernel TCP — the Kafka protocol is unchanged.
+  Status ConnectWith(net::MessageStreamPtr conn);
+
+  /// Synchronous produce: returns the assigned base offset after the
+  /// configured acks are satisfied. (Non-coroutine shim; see DESIGN.md on
+  /// GCC coroutine-parameter handling.)
+  sim::Co<StatusOr<int64_t>> Produce(const TopicPartitionId& tp, Slice key,
+                                     Slice value) {
+    return ProduceImpl(tp, key, value);
+  }
+
+  /// Pipelined produce: waits only for a window slot, not the ack.
+  sim::Co<Status> ProduceAsync(const TopicPartitionId& tp, Slice key,
+                               Slice value) {
+    return ProduceAsyncImpl(tp, key, value);
+  }
+
+  /// Waits until every in-flight request has been acknowledged.
+  sim::Co<Status> Flush();
+
+  void Close();
+
+  /// Ack-to-send round-trip latencies (ns), recorded per acked request.
+  Histogram& latencies() { return latencies_; }
+  uint64_t acked_records() const { return acked_records_; }
+  uint64_t acked_bytes() const { return acked_bytes_; }
+  uint64_t errors() const { return errors_; }
+
+ private:
+  struct Pending {
+    sim::TimeNs sent_at;
+    uint64_t payload_bytes;
+    std::shared_ptr<sim::Event> done;
+    ProduceResponse response;
+  };
+
+  sim::Co<StatusOr<int64_t>> ProduceImpl(TopicPartitionId tp, Slice key,
+                                         Slice value);
+  sim::Co<Status> ProduceAsyncImpl(TopicPartitionId tp, Slice key,
+                                   Slice value);
+  sim::Co<Status> SendOne(TopicPartitionId tp, Slice key, Slice value,
+                          std::shared_ptr<Pending>* out);
+  /// Detached loop; co-owns the connection and checks `alive` after every
+  /// resume so a destroyed producer is never touched.
+  sim::Co<void> AckReader(std::shared_ptr<bool> alive,
+                          net::MessageStreamPtr conn);
+
+  sim::Simulator& sim_;
+  tcpnet::Network& tcp_;
+  net::NodeId node_;
+  ProducerConfig config_;
+  sim::Semaphore window_;
+  net::MessageStreamPtr conn_;
+  std::deque<std::shared_ptr<Pending>> pending_;
+  Histogram latencies_;
+  uint64_t acked_records_ = 0;
+  uint64_t acked_bytes_ = 0;
+  uint64_t errors_ = 0;
+  uint64_t seq_ = 0;
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+
+ public:
+  ~TcpProducer() {
+    *alive_ = false;
+    Close();
+  }
+};
+
+}  // namespace kafka
+}  // namespace kafkadirect

@@ -1,0 +1,54 @@
+// MessageStream: transport abstraction carrying framed Kafka protocol
+// messages. Implemented by the simulated kernel TCP stack (kd_tcpnet) and
+// by the OSU-Kafka two-sided RDMA transport (kd_osu), so the unmodified
+// broker/client request path runs over either — exactly the comparison the
+// paper draws between Kafka and OSU Kafka.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "net/fabric.h"
+#include "sim/task.h"
+
+namespace kafkadirect {
+namespace net {
+
+class MessageStream {
+ public:
+  virtual ~MessageStream() = default;
+
+  /// Sends one framed message. `zero_copy` models Kafka's sendfile()
+  /// optimization for mapped-file transfers (skips the sender-side copy;
+  /// the paper notes receivers still pay their copies).
+  virtual sim::Co<Status> Send(std::vector<uint8_t> msg,
+                               bool zero_copy = false) = 0;
+
+  /// Receives the next message; blocks until one arrives or the peer
+  /// closes (Status::Disconnected).
+  virtual sim::Co<StatusOr<std::vector<uint8_t>>> Recv() = 0;
+
+  virtual void Close() = 0;
+  virtual bool closed() const = 0;
+
+  /// Fabric node of the remote endpoint.
+  virtual NodeId peer_node() const = 0;
+};
+
+using MessageStreamPtr = std::shared_ptr<MessageStream>;
+
+class StreamListener {
+ public:
+  virtual ~StreamListener() = default;
+
+  /// Blocks until an inbound connection is established; Disconnected when
+  /// the listener shuts down.
+  virtual sim::Co<StatusOr<MessageStreamPtr>> Accept() = 0;
+
+  virtual void Shutdown() = 0;
+};
+
+}  // namespace net
+}  // namespace kafkadirect

@@ -1,0 +1,84 @@
+// CompletionQueue: bounded CQE queue with verbs overflow semantics — if the
+// application lets a CQ fill up, the CQ enters an error state and every QP
+// bound to it is torn down. (This failure mode is why KafkaDirect's push
+// replication needs credit-based flow control, §4.3.2.)
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "sim/awaitable.h"
+#include "sim/simulator.h"
+#include "sim/task.h"
+#include "rdma/verbs.h"
+
+namespace kafkadirect {
+namespace rdma {
+
+class QueuePair;
+
+class CompletionQueue
+    : public std::enable_shared_from_this<CompletionQueue> {
+ public:
+  CompletionQueue(sim::Simulator& sim, int capacity)
+      : sim_(sim), capacity_(capacity), arrival_(sim) {}
+  CompletionQueue(const CompletionQueue&) = delete;
+  CompletionQueue& operator=(const CompletionQueue&) = delete;
+
+  /// Non-blocking poll; nullopt when empty.
+  std::optional<WorkCompletion> Poll() {
+    if (cqes_.empty()) return std::nullopt;
+    WorkCompletion wc = cqes_.front();
+    cqes_.pop_front();
+    return wc;
+  }
+
+  /// co_await cq.Next() — blocks until a CQE is available (or the CQ is in
+  /// error state, in which case nullopt is returned). The CQ keeps itself
+  /// alive while a waiter is suspended.
+  sim::Co<std::optional<WorkCompletion>> Next() {
+    auto self = shared_from_this();
+    while (self->cqes_.empty() && !self->error_) {
+      self->arrival_.Reset();
+      co_await self->arrival_.Wait();
+    }
+    co_return self->Poll();
+  }
+
+  /// co_await cq.NextFor(timeout) — like Next() but gives up after
+  /// `timeout` ns of virtual time.
+  sim::Co<std::optional<WorkCompletion>> NextFor(sim::TimeNs timeout) {
+    auto self = shared_from_this();
+    if (self->cqes_.empty() && !self->error_) {
+      self->arrival_.Reset();
+      co_await self->arrival_.WaitFor(timeout);
+    }
+    co_return self->Poll();
+  }
+
+  /// Delivers a CQE (called by the RNIC model). Overflow trips the error
+  /// state and kills every attached QP.
+  void Push(const WorkCompletion& wc);
+
+  void AttachQp(QueuePair* qp) { qps_.push_back(qp); }
+  void DetachQp(QueuePair* qp);
+
+  bool in_error() const { return error_; }
+  size_t depth() const { return cqes_.size(); }
+  int capacity() const { return capacity_; }
+  uint64_t total_completions() const { return total_; }
+
+ private:
+  sim::Simulator& sim_;
+  int capacity_;
+  std::deque<WorkCompletion> cqes_;
+  sim::Event arrival_;
+  std::vector<QueuePair*> qps_;
+  bool error_ = false;
+  uint64_t total_ = 0;
+};
+
+}  // namespace rdma
+}  // namespace kafkadirect

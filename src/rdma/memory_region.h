@@ -1,0 +1,59 @@
+// MemoryRegion: a registered, remotely-accessible memory range.
+//
+// "Virtual addresses" on the wire are the actual host addresses of the
+// backing buffers, exactly as an RNIC would see them; rkey lookup, bounds
+// and permission checks happen at the responder when an operation executes.
+// Deregistering a region immediately revokes remote access (this is the
+// mechanism the paper uses to fence failed producers).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "rdma/verbs.h"
+
+namespace kafkadirect {
+namespace rdma {
+
+class MemoryRegion {
+ public:
+  MemoryRegion(uint32_t rkey, uint8_t* base, uint64_t length, uint32_t access)
+      : rkey_(rkey), base_(base), length_(length), access_(access) {}
+
+  uint32_t rkey() const { return rkey_; }
+  /// The remote virtual address clients target with one-sided ops.
+  uint64_t addr() const { return reinterpret_cast<uint64_t>(base_); }
+  uint8_t* base() const { return base_; }
+  uint64_t length() const { return length_; }
+  uint32_t access() const { return access_; }
+  bool valid() const { return valid_; }
+
+  /// Revokes all remote access through this region.
+  void Invalidate() { valid_ = false; }
+
+  /// True if [addr, addr+len) is inside the region and `need` permissions
+  /// are granted.
+  bool Allows(uint64_t addr, uint64_t len, uint32_t need) const {
+    if (!valid_) return false;
+    if ((access_ & need) != need) return false;
+    uint64_t base = this->addr();
+    return addr >= base && len <= length_ && addr - base <= length_ - len;
+  }
+
+  /// Host pointer for a validated remote address.
+  uint8_t* Translate(uint64_t addr) const {
+    return base_ + (addr - this->addr());
+  }
+
+ private:
+  uint32_t rkey_;
+  uint8_t* base_;
+  uint64_t length_;
+  uint32_t access_;
+  bool valid_ = true;
+};
+
+using MemoryRegionPtr = std::shared_ptr<MemoryRegion>;
+
+}  // namespace rdma
+}  // namespace kafkadirect

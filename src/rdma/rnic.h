@@ -1,0 +1,80 @@
+// Rnic: one RDMA-capable NIC attached to a fabric node. Owns the memory
+// registration table, the atomic execution unit, and QP creation.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "net/fabric.h"
+#include "rdma/memory_region.h"
+#include "sim/resource.h"
+#include "sim/simulator.h"
+
+namespace kafkadirect {
+namespace rdma {
+
+class QueuePair;
+class CompletionQueue;
+
+class Rnic {
+ public:
+  Rnic(sim::Simulator& sim, net::Fabric& fabric, net::NodeId node)
+      : sim_(sim), fabric_(fabric), node_(node), atomic_unit_(sim, 1) {}
+  Rnic(const Rnic&) = delete;
+  Rnic& operator=(const Rnic&) = delete;
+
+  /// Registers `len` bytes at `base` for remote access. Comparable to
+  /// mmap + ibv_reg_mr in the paper's produce/consume access grants.
+  StatusOr<MemoryRegionPtr> RegisterMemory(uint8_t* base, uint64_t len,
+                                           uint32_t access);
+
+  /// Revokes and removes a registration.
+  Status DeregisterMemory(const MemoryRegionPtr& mr);
+
+  /// rkey lookup; nullptr when unknown or invalidated.
+  MemoryRegion* LookupMr(uint32_t rkey);
+
+  /// CPU time to register `len` bytes (page pinning etc.); charged by the
+  /// code path that performs the registration.
+  sim::TimeNs RegistrationCost(uint64_t len) const {
+    const RdmaModel& m = fabric_.cost().rdma;
+    (void)m;
+    return 20000 + static_cast<sim::TimeNs>(0.02 * static_cast<double>(len));
+  }
+
+  std::shared_ptr<CompletionQueue> CreateCq(int capacity = 0);
+  std::shared_ptr<QueuePair> CreateQp(std::shared_ptr<CompletionQueue> send_cq,
+                                      std::shared_ptr<CompletionQueue> recv_cq);
+
+  sim::Simulator& simulator() { return sim_; }
+  net::Fabric& fabric() { return fabric_; }
+  net::NodeId node() const { return node_; }
+  const CostModel& cost() const { return fabric_.cost(); }
+  /// The serial unit executing remote atomics (2.68 Mops/s ceiling).
+  sim::Resource& atomic_unit() { return atomic_unit_; }
+
+  uint64_t atomics_executed() const { return atomics_executed_; }
+  void CountAtomic() { atomics_executed_++; }
+
+  /// Bytes currently pinned for RDMA — the §7 memory-usage cost of
+  /// KafkaDirect (every RDMA-accessible file must stay mapped in DRAM).
+  uint64_t registered_bytes() const { return registered_bytes_; }
+  /// High-water mark of registered_bytes().
+  uint64_t peak_registered_bytes() const { return peak_registered_bytes_; }
+
+ private:
+  sim::Simulator& sim_;
+  net::Fabric& fabric_;
+  net::NodeId node_;
+  sim::Resource atomic_unit_;
+  uint32_t next_rkey_ = 1;
+  std::unordered_map<uint32_t, MemoryRegionPtr> mrs_;
+  uint64_t atomics_executed_ = 0;
+  uint64_t registered_bytes_ = 0;
+  uint64_t peak_registered_bytes_ = 0;
+};
+
+}  // namespace rdma
+}  // namespace kafkadirect

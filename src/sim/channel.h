@@ -1,0 +1,118 @@
+// Channel<T>: an unbounded async MPMC queue connecting coroutines (the
+// "shared request queue" pattern from Kafka's broker, completion queues,
+// socket receive queues, ...).
+#pragma once
+
+#include <coroutine>
+#include <deque>
+#include <memory>
+#include <optional>
+
+#include "common/logging.h"
+#include "sim/simulator.h"
+
+namespace kafkadirect {
+namespace sim {
+
+/// Unbounded FIFO channel. Pop() suspends while empty; Close() wakes all
+/// blocked poppers with std::nullopt once drained.
+///
+/// Items are handed directly to blocked poppers (rendezvous), so a popper
+/// that was woken for an item is guaranteed to receive that item even if
+/// other poppers race in between. Invariant: waiters and queued items are
+/// never both non-empty.
+template <typename T>
+class Channel {
+ public:
+  explicit Channel(Simulator& sim) : sim_(sim) {}
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  /// Enqueues an item; hands it to the longest-blocked popper if any.
+  void Push(T item) {
+    KD_DCHECK(!closed_) << "push on closed channel";
+    if (!waiters_.empty()) {
+      auto node = waiters_.front();
+      waiters_.pop_front();
+      node->value = std::move(item);
+      sim_.Schedule(0, [node]() { node->h.resume(); });
+      return;
+    }
+    items_.push_back(std::move(item));
+  }
+
+  /// co_await ch.Pop() — next item, or nullopt if the channel is closed and
+  /// drained.
+  auto Pop() { return PopAwaiter(this); }
+
+  /// Borrowed view of the next item; nullptr when empty.
+  const T* PeekFront() const {
+    return items_.empty() ? nullptr : &items_.front();
+  }
+
+  /// Non-blocking pop.
+  std::optional<T> TryPop() {
+    if (items_.empty()) return std::nullopt;
+    T v = std::move(items_.front());
+    items_.pop_front();
+    return v;
+  }
+
+  /// After Close, Pop() returns remaining items then nullopt.
+  void Close() {
+    closed_ = true;
+    while (!waiters_.empty()) {
+      auto node = waiters_.front();
+      waiters_.pop_front();
+      sim_.Schedule(0, [node]() { node->h.resume(); });
+    }
+  }
+
+  size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+  bool closed() const { return closed_; }
+  size_t num_waiters() const { return waiters_.size(); }
+
+ private:
+  struct Node {
+    std::coroutine_handle<> h;
+    std::optional<T> value;  // set by Push on direct handoff
+  };
+
+  class PopAwaiter {
+   public:
+    explicit PopAwaiter(Channel* ch) : ch_(ch) {}
+
+    bool await_ready() const noexcept {
+      return !ch_->items_.empty() || ch_->closed_;
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      node_ = std::make_shared<Node>();
+      node_->h = h;
+      ch_->waiters_.push_back(node_);
+    }
+    std::optional<T> await_resume() {
+      if (node_ != nullptr && node_->value.has_value()) {
+        return std::move(node_->value);
+      }
+      if (!ch_->items_.empty()) {
+        T v = std::move(ch_->items_.front());
+        ch_->items_.pop_front();
+        return v;
+      }
+      return std::nullopt;  // closed (or woken by Close)
+    }
+
+   private:
+    Channel* ch_;
+    std::shared_ptr<Node> node_;
+  };
+
+  Simulator& sim_;
+  std::deque<T> items_;
+  std::deque<std::shared_ptr<Node>> waiters_;
+  bool closed_ = false;
+};
+
+}  // namespace sim
+}  // namespace kafkadirect

@@ -1,0 +1,52 @@
+// Resource: a FIFO server modeling a contended serial device — a CPU
+// thread pool slot, the RNIC atomic-execution unit, a link DMA engine.
+// Callers co_await Use(service_time); requests queue when all servers are
+// busy. Tracks busy time for utilization reporting.
+#pragma once
+
+#include "sim/awaitable.h"
+#include "sim/semaphore.h"
+#include "sim/task.h"
+
+namespace kafkadirect {
+namespace sim {
+
+class Resource {
+ public:
+  /// `servers`: how many requests can be in service concurrently (e.g. 3
+  /// network threads => 3).
+  Resource(Simulator& sim, int64_t servers = 1)
+      : sim_(sim), sem_(sim, servers), servers_(servers) {}
+
+  /// Occupies one server for `service_ns` of virtual time, FIFO-queuing
+  /// behind earlier requests.
+  Co<void> Use(TimeNs service_ns) {
+    co_await sem_.Acquire();
+    co_await Delay(sim_, service_ns);
+    busy_ns_ += service_ns;
+    sem_.Release();
+  }
+
+  /// Total service time delivered (across all servers).
+  TimeNs busy_ns() const { return busy_ns_; }
+
+  /// Mean utilization in [0,1] over [0, now].
+  double Utilization() const {
+    TimeNs now = sim_.Now();
+    if (now <= 0) return 0.0;
+    return static_cast<double>(busy_ns_) /
+           (static_cast<double>(now) * static_cast<double>(servers_));
+  }
+
+  int64_t servers() const { return servers_; }
+  size_t queue_length() const { return sem_.num_waiters(); }
+
+ private:
+  Simulator& sim_;
+  Semaphore sem_;
+  int64_t servers_;
+  TimeNs busy_ns_ = 0;
+};
+
+}  // namespace sim
+}  // namespace kafkadirect

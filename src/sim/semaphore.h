@@ -1,0 +1,102 @@
+// Async counting semaphore (used for replication credits, QP send-queue
+// depth, pipelining windows) and an async mutex built on the same waiter
+// discipline.
+#pragma once
+
+#include <coroutine>
+#include <deque>
+#include <memory>
+
+#include "common/logging.h"
+#include "sim/simulator.h"
+
+namespace kafkadirect {
+namespace sim {
+
+/// FIFO counting semaphore. Permits handed directly to waiters on Release,
+/// so wakeups can't be stolen by later acquirers.
+class Semaphore {
+ public:
+  Semaphore(Simulator& sim, int64_t initial) : sim_(sim), count_(initial) {
+    KD_DCHECK(initial >= 0);
+  }
+  Semaphore(const Semaphore&) = delete;
+  Semaphore& operator=(const Semaphore&) = delete;
+
+  /// co_await sem.Acquire() — takes one permit, blocking if none available.
+  auto Acquire() { return Awaiter(this); }
+
+  /// Non-blocking acquire; true on success.
+  bool TryAcquire() {
+    if (count_ > 0 && waiters_.empty()) {
+      count_--;
+      return true;
+    }
+    return false;
+  }
+
+  /// Returns `n` permits, waking up to `n` waiters in FIFO order.
+  void Release(int64_t n = 1) {
+    KD_DCHECK(n >= 0);
+    while (n > 0 && !waiters_.empty()) {
+      auto node = waiters_.front();
+      waiters_.pop_front();
+      n--;
+      sim_.Schedule(0, [node]() { node->h.resume(); });
+    }
+    count_ += n;
+  }
+
+  int64_t available() const { return count_; }
+  size_t num_waiters() const { return waiters_.size(); }
+
+ private:
+  struct Node {
+    std::coroutine_handle<> h;
+  };
+
+  class Awaiter {
+   public:
+    explicit Awaiter(Semaphore* sem) : sem_(sem) {}
+    bool await_ready() noexcept {
+      // Fast path consumes a permit immediately; FIFO is respected by never
+      // overtaking existing waiters.
+      if (sem_->count_ > 0 && sem_->waiters_.empty()) {
+        sem_->count_--;
+        return true;
+      }
+      return false;
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      auto node = std::make_shared<Node>();
+      node->h = h;
+      sem_->waiters_.push_back(node);
+    }
+    // Slow path: Release handed the permit to this waiter directly.
+    void await_resume() noexcept {}
+
+   private:
+    Semaphore* sem_;
+  };
+
+  Simulator& sim_;
+  int64_t count_;
+  std::deque<std::shared_ptr<Node>> waiters_;
+};
+
+/// Async mutual exclusion (per-TopicPartition append lock in the broker).
+class AsyncMutex {
+ public:
+  explicit AsyncMutex(Simulator& sim) : sem_(sim, 1) {}
+
+  /// co_await mu.Lock(); ... mu.Unlock();
+  auto Lock() { return sem_.Acquire(); }
+  void Unlock() { sem_.Release(); }
+  bool TryLock() { return sem_.TryAcquire(); }
+
+ private:
+  Semaphore sem_;
+};
+
+}  // namespace sim
+}  // namespace kafkadirect

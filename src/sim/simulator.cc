@@ -1,0 +1,53 @@
+#include "sim/simulator.h"
+
+#include "common/logging.h"
+
+namespace kafkadirect {
+namespace sim {
+
+void Simulator::ScheduleAt(TimeNs time, std::function<void()> fn) {
+  if (time < now_) time = now_;
+  queue_.push(Entry{time, next_seq_++, std::move(fn)});
+}
+
+void Simulator::Run() {
+  stopped_ = false;
+  while (!queue_.empty() && !stopped_) {
+    // priority_queue::top() is const; moving the callable out requires a
+    // const_cast. Safe: the entry is popped immediately after.
+    Entry entry = std::move(const_cast<Entry&>(queue_.top()));
+    queue_.pop();
+    KD_DCHECK(entry.time >= now_);
+    now_ = entry.time;
+    events_processed_++;
+    entry.fn();
+  }
+}
+
+void Simulator::RunUntilDone(const std::function<bool()>& done,
+                             TimeNs deadline) {
+  stopped_ = false;
+  while (!done() && !queue_.empty() && !stopped_ &&
+         queue_.top().time <= deadline) {
+    Entry entry = std::move(const_cast<Entry&>(queue_.top()));
+    queue_.pop();
+    now_ = entry.time;
+    events_processed_++;
+    entry.fn();
+  }
+}
+
+void Simulator::RunUntil(TimeNs time) {
+  stopped_ = false;
+  while (!queue_.empty() && !stopped_ && queue_.top().time <= time) {
+    Entry entry = std::move(const_cast<Entry&>(queue_.top()));
+    queue_.pop();
+    now_ = entry.time;
+    events_processed_++;
+    entry.fn();
+  }
+  if (!stopped_ && now_ < time) now_ = time;
+}
+
+}  // namespace sim
+}  // namespace kafkadirect

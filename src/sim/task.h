@@ -1,0 +1,142 @@
+// Co<T>: a lazily-started coroutine, awaitable from other coroutines.
+// Spawn(): launches a Co<void> as a detached root task on the simulator.
+//
+// Lifetime rules:
+//  - An awaited Co<T> is owned by the awaiting frame; its handle is
+//    destroyed by ~Co after completion (symmetric transfer resumes the
+//    awaiter first).
+//  - A spawned Co<void> owns itself; its frame self-destructs at
+//    final_suspend.
+#pragma once
+
+#include <coroutine>
+#include <optional>
+#include <utility>
+
+#include "common/logging.h"
+#include "sim/simulator.h"
+
+namespace kafkadirect {
+namespace sim {
+
+template <typename T>
+class Co;
+
+namespace internal {
+
+struct PromiseBase {
+  std::coroutine_handle<> continuation;
+  bool detached = false;
+
+  struct FinalAwaiter {
+    bool await_ready() noexcept { return false; }
+    template <typename Promise>
+    std::coroutine_handle<> await_suspend(
+        std::coroutine_handle<Promise> h) noexcept {
+      PromiseBase& p = h.promise();
+      if (p.detached) {
+        // Root task: nobody awaits it; free the frame now.
+        h.destroy();
+        return std::noop_coroutine();
+      }
+      if (p.continuation) return p.continuation;
+      return std::noop_coroutine();
+    }
+    void await_resume() noexcept {}
+  };
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+  FinalAwaiter final_suspend() noexcept { return {}; }
+  void unhandled_exception() noexcept {
+    KD_CHECK(false) << "unhandled exception escaped a sim coroutine";
+  }
+};
+
+template <typename T>
+struct Promise : PromiseBase {
+  std::optional<T> value;  // T need not be default-constructible
+  Co<T> get_return_object() noexcept;
+  void return_value(T v) noexcept { value.emplace(std::move(v)); }
+};
+
+template <>
+struct Promise<void> : PromiseBase {
+  Co<void> get_return_object() noexcept;
+  void return_void() noexcept {}
+};
+
+}  // namespace internal
+
+/// A coroutine computing a T (or void). Must be either co_awaited exactly
+/// once or passed to Spawn().
+template <typename T = void>
+class [[nodiscard]] Co {
+ public:
+  using promise_type = internal::Promise<T>;
+  using Handle = std::coroutine_handle<promise_type>;
+
+  Co() = default;
+  explicit Co(Handle h) : h_(h) {}
+  Co(Co&& other) noexcept : h_(std::exchange(other.h_, nullptr)) {}
+  Co& operator=(Co&& other) noexcept {
+    if (this != &other) {
+      Destroy();
+      h_ = std::exchange(other.h_, nullptr);
+    }
+    return *this;
+  }
+  Co(const Co&) = delete;
+  Co& operator=(const Co&) = delete;
+  ~Co() { Destroy(); }
+
+  bool valid() const { return h_ != nullptr; }
+
+  // --- awaitable interface ---
+  bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> cont) noexcept {
+    h_.promise().continuation = cont;
+    return h_;  // start the child coroutine (symmetric transfer)
+  }
+  T await_resume() noexcept {
+    if constexpr (!std::is_void_v<T>) {
+      return std::move(*h_.promise().value);
+    }
+  }
+
+  /// Releases ownership of the handle (used by Spawn).
+  Handle Detach() {
+    Handle h = std::exchange(h_, nullptr);
+    h.promise().detached = true;
+    return h;
+  }
+
+ private:
+  void Destroy() {
+    if (h_) {
+      h_.destroy();
+      h_ = nullptr;
+    }
+  }
+
+  Handle h_ = nullptr;
+};
+
+namespace internal {
+template <typename T>
+Co<T> Promise<T>::get_return_object() noexcept {
+  return Co<T>(std::coroutine_handle<Promise<T>>::from_promise(*this));
+}
+inline Co<void> Promise<void>::get_return_object() noexcept {
+  return Co<void>(std::coroutine_handle<Promise<void>>::from_promise(*this));
+}
+}  // namespace internal
+
+/// Launches `task` as a detached root coroutine; it starts at the current
+/// virtual time (via the event queue, preserving deterministic ordering).
+inline void Spawn(Simulator& sim, Co<void> task) {
+  auto h = task.Detach();
+  sim.Schedule(0, [h]() { h.resume(); });
+}
+
+}  // namespace sim
+}  // namespace kafkadirect

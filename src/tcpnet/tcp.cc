@@ -1,0 +1,130 @@
+#include "tcpnet/tcp.h"
+
+namespace kafkadirect {
+namespace tcpnet {
+
+namespace {
+// Extra wire bytes per message for TCP/IP/IPoIB framing.
+constexpr uint64_t kTcpFramingBytes = 66;
+}  // namespace
+
+TcpSocket::TcpSocket(Network* network, net::NodeId local, net::NodeId remote)
+    : network_(network), local_(local), remote_(remote),
+      rx_(network->simulator()) {}
+
+sim::Co<Status> TcpSocket::Send(std::vector<uint8_t> msg, bool zero_copy) {
+  if (closed_ || peer_ == nullptr || peer_->closed_) {
+    co_return Status::Disconnected("TCP send on closed connection");
+  }
+  const CostModel& cm = network_->cost();
+  sim::Simulator& sim = network_->simulator();
+
+  // Sender side: syscall + kernel transmit path (+ user->kernel copy unless
+  // the sendfile path is used).
+  sim::TimeNs sender_cost = cm.tcp.send_overhead_ns;
+  if (!zero_copy) {
+    sender_cost += static_cast<sim::TimeNs>(cm.tcp.send_copy_ns_per_byte *
+                                            static_cast<double>(msg.size()));
+  }
+  co_await sim::Delay(sim, sender_cost);
+  if (closed_ || peer_->closed_) {
+    co_return Status::Disconnected("TCP connection closed during send");
+  }
+
+  // Wire: the single-stream TCP goodput is below link rate; model the
+  // protocol inefficiency as inflated wire bytes so the shared fabric still
+  // arbitrates contention among all flows.
+  double inflate = cm.link.bytes_per_ns / cm.tcp.bytes_per_ns;
+  uint64_t wire_payload = static_cast<uint64_t>(
+      (static_cast<double>(msg.size()) + kTcpFramingBytes) * inflate);
+  sim::TimeNs arrival = network_->fabric().ReserveTransfer(
+      local_, remote_, wire_payload);
+
+  // Receiver kernel path runs at arrival; the payload is then queued for
+  // the application.
+  TcpSocket* peer = peer_;
+  auto peer_shared = peer->shared_from_this();
+  auto payload = std::make_shared<std::vector<uint8_t>>(std::move(msg));
+  sim.ScheduleAt(arrival + cm.tcp.recv_overhead_ns,
+                 [peer_shared, payload]() {
+                   if (!peer_shared->closed_) {
+                     peer_shared->rx_.Push(std::move(*payload));
+                   }
+                 });
+  co_return Status::OK();
+}
+
+sim::Co<StatusOr<std::vector<uint8_t>>> TcpSocket::Recv() {
+  const CostModel& cm = network_->cost();
+  sim::Simulator& sim = network_->simulator();
+  bool had_data = !rx_.empty();
+  auto item = co_await rx_.Pop();
+  if (!item.has_value()) {
+    co_return Status::Disconnected("TCP connection closed");
+  }
+  if (!had_data) {
+    // The receiving thread was blocked in poll/select and must be woken.
+    co_await sim::Delay(sim, cm.cpu.wakeup_ns);
+  }
+  // Kernel->user copies on the receive path.
+  co_await sim::Delay(
+      sim, static_cast<sim::TimeNs>(cm.tcp.recv_copy_ns_per_byte *
+                                    static_cast<double>(item->size())));
+  co_return std::move(*item);
+}
+
+void TcpSocket::Close() {
+  if (closed_) return;
+  closed_ = true;
+  rx_.Close();
+  if (peer_ != nullptr && !peer_->closed_) {
+    // FIN: peer's pending data stays readable; further recvs then fail.
+    peer_->rx_.Close();
+    peer_->closed_ = true;
+  }
+  peer_ref_.reset();
+}
+
+sim::Co<StatusOr<net::MessageStreamPtr>> TcpListener::Accept() {
+  auto item = co_await pending_.Pop();
+  if (!item.has_value()) {
+    co_return Status::Disconnected("listener shut down");
+  }
+  co_return std::move(*item);
+}
+
+StatusOr<std::shared_ptr<TcpListener>> Network::Listen(net::NodeId node,
+                                                       uint16_t port) {
+  auto key = std::make_pair(node, port);
+  if (listeners_.count(key) > 0) {
+    return Status::AlreadyExists("port already bound");
+  }
+  auto listener = std::make_shared<TcpListener>(sim_);
+  listeners_[key] = listener;
+  return listener;
+}
+
+sim::Co<StatusOr<net::MessageStreamPtr>> Network::Connect(net::NodeId from,
+                                                          net::NodeId to,
+                                                          uint16_t port) {
+  auto it = listeners_.find(std::make_pair(to, port));
+  if (it == listeners_.end()) {
+    co_return Status::NotFound("connection refused: no listener");
+  }
+  const CostModel& cm = cost();
+  // SYN / SYN-ACK round trip plus kernel connection setup on both ends.
+  co_await sim::Delay(sim_, 2 * cm.link.propagation_ns +
+                                2 * cm.tcp.send_overhead_ns);
+
+  auto client_side = std::make_shared<TcpSocket>(this, from, to);
+  auto server_side = std::make_shared<TcpSocket>(this, to, from);
+  client_side->peer_ = server_side.get();
+  server_side->peer_ = client_side.get();
+  client_side->peer_ref_ = server_side;
+  server_side->peer_ref_ = client_side;
+  it->second->pending_.Push(server_side);
+  co_return net::MessageStreamPtr(client_side);
+}
+
+}  // namespace tcpnet
+}  // namespace kafkadirect

@@ -1,0 +1,92 @@
+// Simulated kernel TCP/IP (over IPoIB) with the inefficiencies the paper
+// attributes to it: per-message syscall/kernel overhead, sender and
+// receiver memory copies, and blocking-thread wakeup latency. Messages are
+// framed (Kafka's wire protocol is length-prefixed, so stream reassembly is
+// modeled away) and delivered reliably in order.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "net/cost_model.h"
+#include "net/fabric.h"
+#include "net/message_stream.h"
+#include "sim/awaitable.h"
+#include "sim/channel.h"
+#include "sim/task.h"
+
+namespace kafkadirect {
+namespace tcpnet {
+
+class Network;
+
+/// One endpoint of an established TCP connection.
+class TcpSocket : public net::MessageStream,
+                  public std::enable_shared_from_this<TcpSocket> {
+ public:
+  TcpSocket(Network* network, net::NodeId local, net::NodeId remote);
+
+  sim::Co<Status> Send(std::vector<uint8_t> msg, bool zero_copy) override;
+  sim::Co<StatusOr<std::vector<uint8_t>>> Recv() override;
+  void Close() override;
+  bool closed() const override { return closed_; }
+  net::NodeId peer_node() const override { return remote_; }
+  net::NodeId local_node() const { return local_; }
+
+ private:
+  friend class Network;
+
+  Network* network_;
+  net::NodeId local_;
+  net::NodeId remote_;
+  TcpSocket* peer_ = nullptr;
+  std::shared_ptr<TcpSocket> peer_ref_;  // keeps the pair alive together
+  sim::Channel<std::vector<uint8_t>> rx_;
+  bool closed_ = false;
+};
+
+class TcpListener : public net::StreamListener {
+ public:
+  explicit TcpListener(sim::Simulator& sim) : pending_(sim) {}
+
+  sim::Co<StatusOr<net::MessageStreamPtr>> Accept() override;
+  void Shutdown() override { pending_.Close(); }
+
+ private:
+  friend class Network;
+  sim::Channel<net::MessageStreamPtr> pending_;
+};
+
+/// The host-wide TCP stack: listeners by (node, port), connection setup.
+class Network {
+ public:
+  Network(sim::Simulator& sim, net::Fabric& fabric)
+      : sim_(sim), fabric_(fabric) {}
+
+  /// Binds a listener on (node, port).
+  StatusOr<std::shared_ptr<TcpListener>> Listen(net::NodeId node,
+                                                uint16_t port);
+
+  /// Establishes a connection from `from` to the listener at (to, port).
+  /// Charges a connection-setup round trip.
+  sim::Co<StatusOr<net::MessageStreamPtr>> Connect(net::NodeId from,
+                                                   net::NodeId to,
+                                                   uint16_t port);
+
+  sim::Simulator& simulator() { return sim_; }
+  net::Fabric& fabric() { return fabric_; }
+  const CostModel& cost() const { return fabric_.cost(); }
+
+ private:
+  friend class TcpSocket;
+
+  sim::Simulator& sim_;
+  net::Fabric& fabric_;
+  std::map<std::pair<net::NodeId, uint16_t>, std::shared_ptr<TcpListener>>
+      listeners_;
+};
+
+}  // namespace tcpnet
+}  // namespace kafkadirect

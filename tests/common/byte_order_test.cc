@@ -1,0 +1,121 @@
+#include "common/byte_order.h"
+
+#include <gtest/gtest.h>
+
+namespace kafkadirect {
+namespace {
+
+TEST(ByteOrderTest, Fixed16RoundTrip) {
+  uint8_t buf[2];
+  for (uint32_t v : {0u, 1u, 0xFFu, 0x1234u, 0xFFFFu}) {
+    EncodeFixed16(buf, static_cast<uint16_t>(v));
+    EXPECT_EQ(DecodeFixed16(buf), v);
+  }
+}
+
+TEST(ByteOrderTest, Fixed32RoundTrip) {
+  uint8_t buf[4];
+  for (uint32_t v : {0u, 1u, 0xDEADBEEFu, 0xFFFFFFFFu}) {
+    EncodeFixed32(buf, v);
+    EXPECT_EQ(DecodeFixed32(buf), v);
+  }
+}
+
+TEST(ByteOrderTest, Fixed64RoundTrip) {
+  uint8_t buf[8];
+  for (uint64_t v : {uint64_t(0), uint64_t(1), uint64_t(0x0123456789ABCDEF),
+                     ~uint64_t(0)}) {
+    EncodeFixed64(buf, v);
+    EXPECT_EQ(DecodeFixed64(buf), v);
+  }
+}
+
+TEST(ByteOrderTest, LittleEndianLayout) {
+  uint8_t buf[4];
+  EncodeFixed32(buf, 0x04030201u);
+  EXPECT_EQ(buf[0], 1);
+  EXPECT_EQ(buf[1], 2);
+  EXPECT_EQ(buf[2], 3);
+  EXPECT_EQ(buf[3], 4);
+}
+
+TEST(BinaryRwTest, WriterReaderRoundTrip) {
+  BinaryWriter w;
+  w.PutU8(7);
+  w.PutU16(0xBEEF);
+  w.PutU32(123456);
+  w.PutU64(0xCAFEBABE12345678ull);
+  w.PutI32(-5);
+  w.PutI64(-123456789012345ll);
+  w.PutString("topic-a");
+  w.PutBytes(Slice("xyz", 3));
+
+  BinaryReader r(Slice(w.buffer()));
+  uint8_t u8; uint16_t u16; uint32_t u32; uint64_t u64;
+  int32_t i32; int64_t i64;
+  std::string s;
+  Slice b;
+  ASSERT_TRUE(r.GetU8(&u8).ok());
+  ASSERT_TRUE(r.GetU16(&u16).ok());
+  ASSERT_TRUE(r.GetU32(&u32).ok());
+  ASSERT_TRUE(r.GetU64(&u64).ok());
+  ASSERT_TRUE(r.GetI32(&i32).ok());
+  ASSERT_TRUE(r.GetI64(&i64).ok());
+  ASSERT_TRUE(r.GetString(&s).ok());
+  ASSERT_TRUE(r.GetBytes(&b).ok());
+  EXPECT_EQ(u8, 7);
+  EXPECT_EQ(u16, 0xBEEF);
+  EXPECT_EQ(u32, 123456u);
+  EXPECT_EQ(u64, 0xCAFEBABE12345678ull);
+  EXPECT_EQ(i32, -5);
+  EXPECT_EQ(i64, -123456789012345ll);
+  EXPECT_EQ(s, "topic-a");
+  EXPECT_EQ(b, Slice("xyz", 3));
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(BinaryRwTest, TruncatedReadsFail) {
+  BinaryWriter w;
+  w.PutU32(1);
+  BinaryReader r(Slice(w.buffer()));
+  uint64_t v64;
+  EXPECT_TRUE(r.GetU64(&v64).IsOutOfRange());
+  // A failed read must not advance.
+  uint32_t v32;
+  EXPECT_TRUE(r.GetU32(&v32).ok());
+  EXPECT_EQ(v32, 1u);
+}
+
+TEST(BinaryRwTest, TruncatedBytesFail) {
+  BinaryWriter w;
+  w.PutU32(100);  // claims 100 bytes follow but none do
+  BinaryReader r(Slice(w.buffer()));
+  Slice b;
+  EXPECT_TRUE(r.GetBytes(&b).IsOutOfRange());
+}
+
+TEST(BinaryRwTest, PatchU32) {
+  BinaryWriter w;
+  w.PutU32(0);            // placeholder
+  w.PutString("payload");
+  w.PatchU32(0, static_cast<uint32_t>(w.size()));
+  BinaryReader r(Slice(w.buffer()));
+  uint32_t len;
+  ASSERT_TRUE(r.GetU32(&len).ok());
+  EXPECT_EQ(len, w.size());
+}
+
+TEST(BinaryRwTest, GetRawViewsUnderlyingData) {
+  BinaryWriter w;
+  w.PutRaw(Slice("abcdef", 6));
+  BinaryReader r(Slice(w.buffer()));
+  Slice a, b;
+  ASSERT_TRUE(r.GetRaw(2, &a).ok());
+  ASSERT_TRUE(r.GetRaw(4, &b).ok());
+  EXPECT_EQ(a, Slice("ab", 2));
+  EXPECT_EQ(b, Slice("cdef", 4));
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+}  // namespace
+}  // namespace kafkadirect

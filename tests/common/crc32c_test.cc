@@ -1,0 +1,64 @@
+#include "common/crc32c.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace kafkadirect {
+namespace {
+
+// Known-answer vectors from RFC 3720 (iSCSI) appendix B.4.
+TEST(Crc32cTest, StandardVectors) {
+  std::vector<uint8_t> zeros(32, 0x00);
+  EXPECT_EQ(crc32c::Value(zeros.data(), zeros.size()), 0x8A9136AAu);
+
+  std::vector<uint8_t> ones(32, 0xFF);
+  EXPECT_EQ(crc32c::Value(ones.data(), ones.size()), 0x62A8AB43u);
+
+  std::vector<uint8_t> ascending(32);
+  for (int i = 0; i < 32; i++) ascending[i] = static_cast<uint8_t>(i);
+  EXPECT_EQ(crc32c::Value(ascending.data(), ascending.size()), 0x46DD794Eu);
+
+  std::vector<uint8_t> descending(32);
+  for (int i = 0; i < 32; i++) descending[i] = static_cast<uint8_t>(31 - i);
+  EXPECT_EQ(crc32c::Value(descending.data(), descending.size()), 0x113FDB5Cu);
+}
+
+TEST(Crc32cTest, Empty) {
+  EXPECT_EQ(crc32c::Value(nullptr, 0), 0u);
+}
+
+TEST(Crc32cTest, ExtendMatchesWhole) {
+  std::string data = "hello world, this is kafkadirect calling";
+  uint32_t whole = crc32c::Value(
+      reinterpret_cast<const uint8_t*>(data.data()), data.size());
+  for (size_t split = 0; split <= data.size(); split++) {
+    uint32_t part = crc32c::Extend(
+        0, reinterpret_cast<const uint8_t*>(data.data()), split);
+    part = crc32c::Extend(
+        part, reinterpret_cast<const uint8_t*>(data.data()) + split,
+        data.size() - split);
+    EXPECT_EQ(part, whole) << "split at " << split;
+  }
+}
+
+TEST(Crc32cTest, SensitiveToSingleBitFlip) {
+  std::vector<uint8_t> buf(1024, 0xAB);
+  uint32_t base = crc32c::Value(buf.data(), buf.size());
+  for (size_t pos : {size_t(0), size_t(511), size_t(1023)}) {
+    buf[pos] ^= 0x01;
+    EXPECT_NE(crc32c::Value(buf.data(), buf.size()), base);
+    buf[pos] ^= 0x01;
+  }
+}
+
+TEST(Crc32cTest, SliceOverloadMatches) {
+  std::string s = "abcdef";
+  EXPECT_EQ(crc32c::Value(Slice(s)),
+            crc32c::Value(reinterpret_cast<const uint8_t*>(s.data()),
+                          s.size()));
+}
+
+}  // namespace
+}  // namespace kafkadirect

@@ -1,0 +1,64 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace kafkadirect {
+namespace {
+
+TEST(RandomTest, DeterministicForSameSeed) {
+  Random a(42), b(42);
+  for (int i = 0; i < 100; i++) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RandomTest, DifferentSeedsDiffer) {
+  Random a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; i++) {
+    if (a.Next() == b.Next()) same++;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RandomTest, UniformInRange) {
+  Random r(7);
+  for (int i = 0; i < 1000; i++) {
+    uint64_t v = r.Uniform(10);
+    EXPECT_LT(v, 10u);
+  }
+  for (int i = 0; i < 1000; i++) {
+    uint64_t v = r.Range(5, 8);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 8u);
+  }
+}
+
+TEST(RandomTest, CoversRange) {
+  Random r(3);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; i++) seen.insert(r.Uniform(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RandomTest, NextDoubleInUnitInterval) {
+  Random r(9);
+  for (int i = 0; i < 1000; i++) {
+    double d = r.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RandomTest, OneInRoughRate) {
+  Random r(11);
+  int hits = 0;
+  for (int i = 0; i < 10000; i++) {
+    if (r.OneIn(10)) hits++;
+  }
+  EXPECT_GT(hits, 700);
+  EXPECT_LT(hits, 1300);
+}
+
+}  // namespace
+}  // namespace kafkadirect

@@ -1,0 +1,54 @@
+#include "common/slice.h"
+
+#include <gtest/gtest.h>
+
+namespace kafkadirect {
+namespace {
+
+TEST(SliceTest, DefaultIsEmpty) {
+  Slice s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0u);
+}
+
+TEST(SliceTest, ViewsStringWithoutCopy) {
+  std::string str = "hello";
+  Slice s(str);
+  EXPECT_EQ(s.size(), 5u);
+  EXPECT_EQ(s.data(), reinterpret_cast<const uint8_t*>(str.data()));
+  EXPECT_EQ(s.ToString(), "hello");
+}
+
+TEST(SliceTest, RemovePrefix) {
+  std::string str = "abcdef";
+  Slice s(str);
+  s.RemovePrefix(2);
+  EXPECT_EQ(s.ToString(), "cdef");
+}
+
+TEST(SliceTest, SubSlice) {
+  std::string str = "abcdef";
+  Slice s(str);
+  EXPECT_EQ(s.SubSlice(1, 3).ToString(), "bcd");
+  EXPECT_EQ(s.SubSlice(0, 0).size(), 0u);
+}
+
+TEST(SliceTest, Equality) {
+  std::string a = "same", b = "same", c = "diff";
+  EXPECT_EQ(Slice(a), Slice(b));
+  EXPECT_NE(Slice(a), Slice(c));
+  EXPECT_EQ(Slice(), Slice());
+  EXPECT_NE(Slice(a), Slice());
+}
+
+TEST(SliceTest, VectorInterop) {
+  std::vector<uint8_t> v = {1, 2, 3};
+  Slice s(v);
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_EQ(s[1], 2);
+  std::vector<uint8_t> round = s.ToVector();
+  EXPECT_EQ(round, v);
+}
+
+}  // namespace
+}  // namespace kafkadirect

@@ -1,0 +1,45 @@
+#include "common/units.h"
+
+#include <gtest/gtest.h>
+
+namespace kafkadirect {
+namespace {
+
+TEST(UnitsTest, SizeConstants) {
+  EXPECT_EQ(kKiB, 1024u);
+  EXPECT_EQ(kMiB, 1024u * 1024u);
+  EXPECT_EQ(kGiB, 1024u * 1024u * 1024u);
+}
+
+TEST(UnitsTest, TimeHelpers) {
+  EXPECT_EQ(Micros(1), 1000);
+  EXPECT_EQ(Millis(1), 1000000);
+  EXPECT_EQ(Seconds(1), 1000000000);
+}
+
+TEST(UnitsTest, FormatSize) {
+  EXPECT_EQ(FormatSize(64), "64B");
+  EXPECT_EQ(FormatSize(512), "512B");
+  EXPECT_EQ(FormatSize(2048), "2K");
+  EXPECT_EQ(FormatSize(32 * kKiB), "32K");
+  EXPECT_EQ(FormatSize(kMiB), "1M");
+  EXPECT_EQ(FormatSize(kGiB), "1G");
+  EXPECT_EQ(FormatSize(1500), "1500B");  // non-multiple falls back to bytes
+}
+
+TEST(UnitsTest, RateMath) {
+  // 1 GiB transferred in 1 second.
+  double gib = RateGiBps(static_cast<double>(kGiB), 1e9);
+  EXPECT_NEAR(gib, 1.0, 1e-9);
+  EXPECT_NEAR(RateMiBps(static_cast<double>(kMiB), 1e9), 1.0, 1e-9);
+}
+
+TEST(UnitsTest, FormatRatePicksUnit) {
+  EXPECT_NE(FormatRate(static_cast<double>(2 * kGiB), 1e9).find("GiB/s"),
+            std::string::npos);
+  EXPECT_NE(FormatRate(static_cast<double>(10 * kMiB), 1e9).find("MiB/s"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace kafkadirect

@@ -1,0 +1,156 @@
+// EXTENSION tests (§5.4 future work): RDMA-accelerated consumer-group
+// offset commits — a one-sided 8-byte write into a broker-registered slot,
+// coherent with the legacy TCP commit path in both directions.
+#include <gtest/gtest.h>
+
+#include "kd_test_util.h"
+
+namespace kafkadirect {
+namespace kd {
+namespace {
+
+using kafka::TopicPartitionId;
+
+TEST_F(KdClusterTest, RdmaCommitVisibleToTcpFetch) {
+  Boot(1, 1, 1, true, false, true);
+  TopicPartitionId tp{"t", 0};
+  int64_t fetched = -2;
+  bool done = false;
+  auto run = [](KdClusterTest* t, TopicPartitionId tp, int64_t* fetched,
+                bool* done) -> sim::Co<void> {
+    RdmaConsumer consumer(t->sim_, *t->fabric_, *t->tcpnet_,
+                          t->client_node_);
+    KD_CHECK((co_await consumer.Connect(t->Leader(tp))).ok());
+    KD_CHECK((co_await consumer.EnableRdmaCommit(tp, "g1")).ok());
+    KD_CHECK((co_await consumer.CommitOffsetRdma(tp, "g1", 1234)).ok());
+    // The legacy TCP path must read the one-sided commit.
+    kafka::TcpConsumer legacy(t->sim_, *t->tcpnet_, t->client_node_);
+    KD_CHECK((co_await legacy.Connect(t->Leader(tp)->node())).ok());
+    auto got = co_await legacy.FetchCommittedOffset(tp, "g1");
+    KD_CHECK(got.ok());
+    *fetched = got.value();
+    *done = true;
+  };
+  sim::Spawn(sim_, run(this, tp, &fetched, &done));
+  RunToFlag(&done);
+  EXPECT_EQ(fetched, 1234);
+}
+
+TEST_F(KdClusterTest, TcpCommitSeedsAndUpdatesRdmaSlot) {
+  Boot(1, 1, 1, true, false, true);
+  TopicPartitionId tp{"t", 0};
+  int64_t after_seed = -2, after_tcp_update = -2;
+  bool done = false;
+  auto run = [](KdClusterTest* t, TopicPartitionId tp, int64_t* after_seed,
+                int64_t* after_tcp_update, bool* done) -> sim::Co<void> {
+    // Commit 7 over TCP before the group upgrades to RDMA commits.
+    kafka::TcpConsumer legacy(t->sim_, *t->tcpnet_, t->client_node_);
+    KD_CHECK((co_await legacy.Connect(t->Leader(tp)->node())).ok());
+    KD_CHECK((co_await legacy.CommitOffset(tp, "g2", 7)).ok());
+
+    RdmaConsumer consumer(t->sim_, *t->fabric_, *t->tcpnet_,
+                          t->client_node_);
+    KD_CHECK((co_await consumer.Connect(t->Leader(tp))).ok());
+    KD_CHECK((co_await consumer.EnableRdmaCommit(tp, "g2")).ok());
+    auto seeded = co_await legacy.FetchCommittedOffset(tp, "g2");
+    KD_CHECK(seeded.ok());
+    *after_seed = seeded.value();
+
+    // A later TCP commit keeps the slot coherent.
+    KD_CHECK((co_await legacy.CommitOffset(tp, "g2", 9)).ok());
+    auto updated = co_await legacy.FetchCommittedOffset(tp, "g2");
+    KD_CHECK(updated.ok());
+    *after_tcp_update = updated.value();
+    *done = true;
+  };
+  sim::Spawn(sim_, run(this, tp, &after_seed, &after_tcp_update, &done));
+  RunToFlag(&done);
+  EXPECT_EQ(after_seed, 7);
+  EXPECT_EQ(after_tcp_update, 9);
+}
+
+TEST_F(KdClusterTest, RdmaCommitLatencyFarBelowTcp) {
+  Boot(1, 1, 1, true, false, true);
+  TopicPartitionId tp{"t", 0};
+  sim::TimeNs rdma_total = 0, tcp_total = 0;
+  bool done = false;
+  constexpr int kIters = 50;
+  auto run = [](KdClusterTest* t, TopicPartitionId tp, sim::TimeNs* rdma,
+                sim::TimeNs* tcp, bool* done) -> sim::Co<void> {
+    RdmaConsumer consumer(t->sim_, *t->fabric_, *t->tcpnet_,
+                          t->client_node_);
+    KD_CHECK((co_await consumer.Connect(t->Leader(tp))).ok());
+    KD_CHECK((co_await consumer.EnableRdmaCommit(tp, "g3")).ok());
+    sim::TimeNs start = t->sim_.Now();
+    for (int i = 0; i < kIters; i++) {
+      KD_CHECK((co_await consumer.CommitOffsetRdma(tp, "g3", i)).ok());
+    }
+    *rdma = t->sim_.Now() - start;
+
+    kafka::TcpConsumer legacy(t->sim_, *t->tcpnet_, t->client_node_);
+    KD_CHECK((co_await legacy.Connect(t->Leader(tp)->node())).ok());
+    start = t->sim_.Now();
+    for (int i = 0; i < kIters; i++) {
+      KD_CHECK((co_await legacy.CommitOffset(tp, "g3", i)).ok());
+    }
+    *tcp = t->sim_.Now() - start;
+    *done = true;
+  };
+  sim::Spawn(sim_, run(this, tp, &rdma_total, &tcp_total, &done));
+  RunToFlag(&done);
+  // One-sided commits should be >30x cheaper than TCP round trips.
+  EXPECT_GT(tcp_total, rdma_total * 30)
+      << "rdma=" << rdma_total / kIters / 1000 << "us "
+      << "tcp=" << tcp_total / kIters / 1000 << "us";
+}
+
+TEST_F(KdClusterTest, CommitWithoutEnableFails) {
+  Boot(1, 1, 1, true, false, true);
+  TopicPartitionId tp{"t", 0};
+  bool failed = false, done = false;
+  auto run = [](KdClusterTest* t, TopicPartitionId tp, bool* failed,
+                bool* done) -> sim::Co<void> {
+    RdmaConsumer consumer(t->sim_, *t->fabric_, *t->tcpnet_,
+                          t->client_node_);
+    KD_CHECK((co_await consumer.Connect(t->Leader(tp))).ok());
+    Status st = co_await consumer.CommitOffsetRdma(tp, "nope", 1);
+    *failed = st.code() == StatusCode::kFailedPrecondition;
+    *done = true;
+  };
+  sim::Spawn(sim_, run(this, tp, &failed, &done));
+  RunToFlag(&done);
+  EXPECT_TRUE(failed);
+}
+
+TEST_F(KdClusterTest, CommitSlotsIndependentPerGroup) {
+  Boot(1, 1, 1, true, false, true);
+  TopicPartitionId tp{"t", 0};
+  int64_t a = -2, b = -2;
+  bool done = false;
+  auto run = [](KdClusterTest* t, TopicPartitionId tp, int64_t* a,
+                int64_t* b, bool* done) -> sim::Co<void> {
+    RdmaConsumer consumer(t->sim_, *t->fabric_, *t->tcpnet_,
+                          t->client_node_);
+    KD_CHECK((co_await consumer.Connect(t->Leader(tp))).ok());
+    KD_CHECK((co_await consumer.EnableRdmaCommit(tp, "ga")).ok());
+    KD_CHECK((co_await consumer.EnableRdmaCommit(tp, "gb")).ok());
+    KD_CHECK((co_await consumer.CommitOffsetRdma(tp, "ga", 11)).ok());
+    KD_CHECK((co_await consumer.CommitOffsetRdma(tp, "gb", 22)).ok());
+    kafka::TcpConsumer legacy(t->sim_, *t->tcpnet_, t->client_node_);
+    KD_CHECK((co_await legacy.Connect(t->Leader(tp)->node())).ok());
+    auto got_a = co_await legacy.FetchCommittedOffset(tp, "ga");
+    auto got_b = co_await legacy.FetchCommittedOffset(tp, "gb");
+    KD_CHECK(got_a.ok() && got_b.ok());
+    *a = got_a.value();
+    *b = got_b.value();
+    *done = true;
+  };
+  sim::Spawn(sim_, run(this, tp, &a, &b, &done));
+  RunToFlag(&done);
+  EXPECT_EQ(a, 11);
+  EXPECT_EQ(b, 22);
+}
+
+}  // namespace
+}  // namespace kd
+}  // namespace kafkadirect

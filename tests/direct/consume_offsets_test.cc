@@ -1,0 +1,175 @@
+// RDMA consume subscription edges: mid-log offsets, tail (LEO)
+// subscriptions, out-of-range offsets, mid-batch positions, and
+// unregistration bookkeeping.
+#include <gtest/gtest.h>
+
+#include "kd_test_util.h"
+
+namespace kafkadirect {
+namespace kd {
+namespace {
+
+using kafka::TopicPartitionId;
+
+sim::Co<void> PreloadN(KdClusterTest* t, TopicPartitionId tp, int n,
+                       size_t size, bool* done) {
+  RdmaProducer producer(t->sim_, *t->fabric_, *t->tcpnet_, t->client_node_,
+                        RdmaProducerConfig{.max_inflight = 16});
+  KafkaDirectBroker* leader = t->Leader(tp);
+  KD_CHECK((co_await producer.Connect(leader, tp)).ok());
+  std::string filler(size, 'o');
+  for (int i = 0; i < n; i++) {
+    std::string value = "off-" + std::to_string(i) + "-" + filler;
+    KD_CHECK((co_await producer.ProduceAsync(Slice("k", 1),
+                                             Slice(value))).ok());
+  }
+  KD_CHECK((co_await producer.Flush()).ok());
+  producer.Close();
+  *done = true;
+}
+
+TEST_F(KdClusterTest, SubscribeAtMidLogOffset) {
+  Boot(1, 1, 1, true, false, true);
+  TopicPartitionId tp{"t", 0};
+  bool loaded = false;
+  sim::Spawn(sim_, PreloadN(this, tp, 100, 64, &loaded));
+  RunToFlag(&loaded);
+
+  std::vector<kafka::OwnedRecord> got;
+  bool done = false;
+  auto run = [](KdClusterTest* t, TopicPartitionId tp,
+                std::vector<kafka::OwnedRecord>* got,
+                bool* done) -> sim::Co<void> {
+    RdmaConsumer consumer(t->sim_, *t->fabric_, *t->tcpnet_,
+                          t->client_node_);
+    KD_CHECK((co_await consumer.Connect(t->Leader(tp))).ok());
+    KD_CHECK((co_await consumer.Subscribe(tp, 73)).ok());
+    while (got->size() < 27) {
+      auto records = co_await consumer.Poll(tp);
+      KD_CHECK(records.ok());
+      if (records.value().empty()) break;
+      for (auto& record : records.value()) got->push_back(std::move(record));
+    }
+    *done = true;
+  };
+  sim::Spawn(sim_, run(this, tp, &got, &done));
+  RunToFlag(&done);
+  ASSERT_EQ(got.size(), 27u);
+  // Delivery starts exactly at the requested offset (mid-batch prefixes
+  // are filtered client-side, like a real Kafka consumer).
+  EXPECT_EQ(got.front().offset, 73);
+  EXPECT_EQ(got.back().offset, 99);
+  EXPECT_TRUE(got[0].value.rfind("off-73-", 0) == 0);
+}
+
+TEST_F(KdClusterTest, SubscribeAtLogEndSeesOnlyNewRecords) {
+  Boot(1, 1, 1, true, false, true);
+  TopicPartitionId tp{"t", 0};
+  bool loaded = false;
+  sim::Spawn(sim_, PreloadN(this, tp, 10, 32, &loaded));
+  RunToFlag(&loaded);
+
+  std::vector<kafka::OwnedRecord> got;
+  bool done = false;
+  auto run = [](KdClusterTest* t, TopicPartitionId tp,
+                std::vector<kafka::OwnedRecord>* got,
+                bool* done) -> sim::Co<void> {
+    RdmaConsumer consumer(t->sim_, *t->fabric_, *t->tcpnet_,
+                          t->client_node_);
+    KD_CHECK((co_await consumer.Connect(t->Leader(tp))).ok());
+    KD_CHECK((co_await consumer.Subscribe(tp, 10)).ok());  // == LEO
+    auto empty = co_await consumer.Poll(tp);
+    KD_CHECK(empty.ok() && empty.value().empty());
+    // New records appear after subscription.
+    RdmaProducer late(t->sim_, *t->fabric_, *t->tcpnet_,
+                      t->fabric_->AddNode("late"), RdmaProducerConfig{});
+    KD_CHECK((co_await late.Connect(t->Leader(tp), tp)).ok());
+    KD_CHECK((co_await late.Produce(Slice("k", 1), Slice("fresh", 5))).ok());
+    for (int tries = 0; tries < 50 && got->empty(); tries++) {
+      auto records = co_await consumer.Poll(tp);
+      KD_CHECK(records.ok());
+      for (auto& record : records.value()) got->push_back(std::move(record));
+      if (got->empty()) co_await sim::Delay(t->sim_, Micros(100));
+    }
+    *done = true;
+  };
+  sim::Spawn(sim_, run(this, tp, &got, &done));
+  RunToFlag(&done);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].offset, 10);
+  EXPECT_EQ(got[0].value, "fresh");
+}
+
+TEST_F(KdClusterTest, SubscribeBeyondLogEndRejected) {
+  Boot(1, 1, 1, true, false, true);
+  TopicPartitionId tp{"t", 0};
+  bool rejected = false, done = false;
+  auto run = [](KdClusterTest* t, TopicPartitionId tp, bool* rejected,
+                bool* done) -> sim::Co<void> {
+    RdmaConsumer consumer(t->sim_, *t->fabric_, *t->tcpnet_,
+                          t->client_node_);
+    KD_CHECK((co_await consumer.Connect(t->Leader(tp))).ok());
+    Status st = co_await consumer.Subscribe(tp, 999);
+    *rejected = !st.ok();
+    *done = true;
+  };
+  sim::Spawn(sim_, run(this, tp, &rejected, &done));
+  RunToFlag(&done);
+  EXPECT_TRUE(rejected);
+}
+
+TEST_F(KdClusterTest, PollOnUnsubscribedTopicFails) {
+  Boot(1, 1, 1, true, false, true);
+  TopicPartitionId tp{"t", 0};
+  bool failed = false, done = false;
+  auto run = [](KdClusterTest* t, TopicPartitionId tp, bool* failed,
+                bool* done) -> sim::Co<void> {
+    RdmaConsumer consumer(t->sim_, *t->fabric_, *t->tcpnet_,
+                          t->client_node_);
+    KD_CHECK((co_await consumer.Connect(t->Leader(tp))).ok());
+    auto records = co_await consumer.Poll(tp);
+    *failed = records.status().IsNotFound();
+    *done = true;
+  };
+  sim::Spawn(sim_, run(this, tp, &failed, &done));
+  RunToFlag(&done);
+  EXPECT_TRUE(failed);
+}
+
+TEST_F(KdClusterTest, UnregisterFreesSlotsForReuse) {
+  // Walking sealed files recycles metadata slots; after many segment
+  // switches the session must not run out of its 64 slots.
+  Boot(1, 1, 1, true, false, true, /*segment_capacity=*/4 * kKiB);
+  TopicPartitionId tp{"t", 0};
+  bool loaded = false;
+  sim::Spawn(sim_, PreloadN(this, tp, 500, 512, &loaded));
+  RunToFlag(&loaded);
+  // More sealed files than the 64 metadata slots a session owns.
+  ASSERT_GT(Leader(tp)->GetPartition(tp)->log.segments().size(), 64u);
+
+  size_t consumed = 0;
+  bool done = false;
+  auto run = [](KdClusterTest* t, TopicPartitionId tp, size_t* consumed,
+                bool* done) -> sim::Co<void> {
+    RdmaConsumer consumer(t->sim_, *t->fabric_, *t->tcpnet_,
+                          t->client_node_);
+    KD_CHECK((co_await consumer.Connect(t->Leader(tp))).ok());
+    KD_CHECK((co_await consumer.Subscribe(tp, 0)).ok());
+    while (*consumed < 500) {
+      auto records = co_await consumer.Poll(tp);
+      KD_CHECK(records.ok()) << records.status().ToString();
+      if (records.value().empty()) break;
+      *consumed += records.value().size();
+    }
+    KD_CHECK(consumer.file_switches() > 64)
+        << "only " << consumer.file_switches() << " switches";
+    *done = true;
+  };
+  sim::Spawn(sim_, run(this, tp, &consumed, &done));
+  RunToFlag(&done);
+  EXPECT_EQ(consumed, 500u);
+}
+
+}  // namespace
+}  // namespace kd
+}  // namespace kafkadirect

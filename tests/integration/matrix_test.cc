@@ -1,0 +1,194 @@
+// Cross-system integration matrix: every combination of produce transport
+// (TCP, OSU, RDMA exclusive, RDMA shared), consume transport (TCP, RDMA)
+// and replication mode (none, TCP pull, RDMA push) must deliver exactly the
+// records that were produced, in offset order, with valid CRCs, on every
+// replica — the backward-compatibility guarantee at the heart of the paper.
+#include <gtest/gtest.h>
+
+#include "harness/harness.h"
+#include "sim/awaitable.h"
+
+namespace kafkadirect {
+namespace harness {
+namespace {
+
+struct MatrixParam {
+  SystemKind produce;
+  bool rdma_consume;
+  int brokers;
+  int rf;
+  bool rdma_replicate;
+
+  std::string Name() const {
+    std::string name = SystemName(produce);
+    // gtest parameter names must be alphanumeric/underscore only.
+    for (char& c : name) {
+      if (c == '-') c = '_';
+    }
+    name += rdma_consume ? "_RdmaConsume" : "_TcpConsume";
+    name += "_rf" + std::to_string(rf);
+    name += rdma_replicate ? "_push" : (rf > 1 ? "_pull" : "");
+    return name;
+  }
+};
+
+class TransportMatrixTest : public ::testing::TestWithParam<MatrixParam> {};
+
+constexpr int kRecords = 40;
+
+sim::Co<void> ConsumeViaTcp(TestCluster* cluster, kafka::TopicPartitionId tp,
+                            std::vector<kafka::OwnedRecord>* got, int total,
+                            bool* done) {
+  net::NodeId node = cluster->AddClientNode("mx-consumer");
+  kafka::TcpConsumer consumer(cluster->sim(), cluster->tcp(), node);
+  KD_CHECK_OK(co_await consumer.Connect(cluster->Leader(tp)->node()));
+  while (static_cast<int>(got->size()) < total) {
+    auto records = co_await consumer.Poll(tp, 1 << 20, Millis(100));
+    KD_CHECK(records.ok());
+    for (auto& record : records.value()) got->push_back(std::move(record));
+  }
+  *done = true;
+}
+
+sim::Co<void> ConsumeViaRdma(TestCluster* cluster,
+                             kafka::TopicPartitionId tp,
+                             std::vector<kafka::OwnedRecord>* got, int total,
+                             bool* done) {
+  net::NodeId node = cluster->AddClientNode("mx-consumer");
+  kd::RdmaConsumer consumer(cluster->sim(), cluster->fabric(),
+                            cluster->tcp(), node);
+  KD_CHECK_OK(co_await consumer.Connect(cluster->Leader(tp)));
+  KD_CHECK_OK(co_await consumer.Subscribe(tp, 0));
+  while (static_cast<int>(got->size()) < total) {
+    auto records = co_await consumer.Poll(tp);
+    KD_CHECK(records.ok());
+    if (records.value().empty()) {
+      co_await sim::Delay(cluster->sim(), Micros(100));
+      continue;
+    }
+    for (auto& record : records.value()) got->push_back(std::move(record));
+  }
+  *done = true;
+}
+
+TEST_P(TransportMatrixTest, ProducedRecordsArriveIntactEverywhere) {
+  const MatrixParam& param = GetParam();
+  DeploymentConfig deploy;
+  deploy.num_brokers = param.brokers;
+  deploy.broker.rdma_produce = true;
+  deploy.broker.rdma_consume = true;
+  deploy.broker.rdma_replicate = param.rdma_replicate;
+  TestCluster cluster(deploy);
+  static int topic_id = 0;
+  std::string topic = "mx-" + std::to_string(topic_id++);
+  KD_CHECK_OK(cluster.CreateTopic(topic, 1, param.rf));
+  kafka::TopicPartitionId tp{topic, 0};
+
+  // Produce kRecords with self-describing values.
+  ProduceOptions options;
+  options.topic = topic;  // ignored (RunProduceWorkload makes its own)
+  bool produced = false;
+  auto produce = [](TestCluster* cluster, SystemKind kind,
+                    kafka::TopicPartitionId tp, bool* done) -> sim::Co<void> {
+    net::NodeId node = cluster->AddClientNode("mx-producer");
+    if (kind == SystemKind::kKdExclusive || kind == SystemKind::kKdShared) {
+      kd::RdmaProducer producer(
+          cluster->sim(), cluster->fabric(), cluster->tcp(), node,
+          kd::RdmaProducerConfig{
+              .exclusive = kind == SystemKind::kKdExclusive,
+              .max_inflight = 4});
+      kd::KafkaDirectBroker* leader = cluster->Leader(tp);
+      KD_CHECK_OK(co_await producer.Connect(leader, tp));
+      for (int i = 0; i < kRecords; i++) {
+        std::string value = "matrix-value-" + std::to_string(i);
+        KD_CHECK_OK(
+            co_await producer.ProduceAsync(Slice("k", 1), Slice(value)));
+      }
+      KD_CHECK_OK(co_await producer.Flush());
+    } else {
+      kafka::TcpProducer producer(cluster->sim(), cluster->tcp(), node,
+                                  kafka::ProducerConfig{.max_inflight = 4});
+      if (kind == SystemKind::kOsuKafka) {
+        auto chan = co_await osu::OsuConnect(
+            cluster->sim(), cluster->fabric(), cluster->ClientRnic(node),
+            cluster->Leader(tp), cluster->OsuListenerOf(tp));
+        KD_CHECK(chan.ok());
+        KD_CHECK_OK(producer.ConnectWith(chan.value()));
+      } else {
+        KD_CHECK_OK(co_await producer.Connect(cluster->Leader(tp)->node()));
+      }
+      for (int i = 0; i < kRecords; i++) {
+        std::string value = "matrix-value-" + std::to_string(i);
+        KD_CHECK_OK(
+            co_await producer.ProduceAsync(tp, Slice("k", 1), Slice(value)));
+      }
+      KD_CHECK_OK(co_await producer.Flush());
+    }
+    *done = true;
+  };
+  sim::Spawn(cluster.sim(), produce(&cluster, param.produce, tp, &produced));
+  cluster.RunToFlag(&produced);
+
+  // Consume and verify.
+  std::vector<kafka::OwnedRecord> got;
+  bool consumed = false;
+  if (param.rdma_consume) {
+    sim::Spawn(cluster.sim(),
+               ConsumeViaRdma(&cluster, tp, &got, kRecords, &consumed));
+  } else {
+    sim::Spawn(cluster.sim(),
+               ConsumeViaTcp(&cluster, tp, &got, kRecords, &consumed));
+  }
+  cluster.RunToFlag(&consumed);
+
+  ASSERT_EQ(got.size(), static_cast<size_t>(kRecords));
+  for (int i = 0; i < kRecords; i++) {
+    EXPECT_EQ(got[i].offset, i);
+    EXPECT_EQ(got[i].value, "matrix-value-" + std::to_string(i));
+  }
+
+  // Replicas converge to byte-identical logs.
+  cluster.sim().RunFor(Millis(50));
+  kafka::PartitionState* leader_ps = cluster.Leader(tp)->GetPartition(tp);
+  EXPECT_EQ(leader_ps->log.high_watermark(), kRecords);
+  for (int b = 0; b < param.brokers; b++) {
+    kafka::PartitionState* ps = cluster.Broker(b)->GetPartition(tp);
+    if (ps == nullptr) continue;  // not a replica of this TP
+    ASSERT_EQ(ps->log.log_end_offset(), kRecords) << "broker " << b;
+    const kafka::Segment& head = ps->log.head();
+    const kafka::Segment& leader_head = leader_ps->log.head();
+    ASSERT_EQ(head.size(), leader_head.size());
+    EXPECT_EQ(std::memcmp(head.data(), leader_head.data(), head.size()), 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTransports, TransportMatrixTest,
+    ::testing::Values(
+        // Single broker, no replication.
+        MatrixParam{SystemKind::kKafka, false, 1, 1, false},
+        MatrixParam{SystemKind::kKafka, true, 1, 1, false},
+        MatrixParam{SystemKind::kOsuKafka, false, 1, 1, false},
+        MatrixParam{SystemKind::kOsuKafka, true, 1, 1, false},
+        MatrixParam{SystemKind::kKdExclusive, false, 1, 1, false},
+        MatrixParam{SystemKind::kKdExclusive, true, 1, 1, false},
+        MatrixParam{SystemKind::kKdShared, false, 1, 1, false},
+        MatrixParam{SystemKind::kKdShared, true, 1, 1, false},
+        // TCP pull replication, 3 brokers.
+        MatrixParam{SystemKind::kKafka, false, 3, 3, false},
+        MatrixParam{SystemKind::kKafka, true, 3, 3, false},
+        MatrixParam{SystemKind::kKdExclusive, true, 3, 3, false},
+        MatrixParam{SystemKind::kKdShared, false, 3, 3, false},
+        // RDMA push replication, 3 brokers.
+        MatrixParam{SystemKind::kKafka, false, 3, 3, true},
+        MatrixParam{SystemKind::kKafka, true, 3, 3, true},
+        MatrixParam{SystemKind::kKdExclusive, false, 3, 3, true},
+        MatrixParam{SystemKind::kKdExclusive, true, 3, 3, true},
+        MatrixParam{SystemKind::kKdShared, true, 3, 3, true}),
+    [](const ::testing::TestParamInfo<MatrixParam>& info) {
+      return info.param.Name();
+    });
+
+}  // namespace
+}  // namespace harness
+}  // namespace kafkadirect

@@ -1,0 +1,413 @@
+// End-to-end tests of the TCP Kafka core: produce, fetch, replication,
+// acks semantics, long-polling and consumer offsets.
+#include "kafka/broker.h"
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "kafka/cluster.h"
+#include "kafka/consumer.h"
+#include "kafka/producer.h"
+
+namespace kafkadirect {
+namespace kafka {
+namespace {
+
+class KafkaClusterTest : public ::testing::Test {
+ public:
+  void Boot(int num_brokers, int partitions, int rf,
+            uint64_t segment_capacity = 8 * kMiB) {
+    fabric_ = std::make_unique<net::Fabric>(sim_, cost_);
+    tcpnet_ = std::make_unique<tcpnet::Network>(sim_, *fabric_);
+    BrokerConfig cfg;
+    cfg.segment_capacity = segment_capacity;
+    cluster_ = std::make_unique<Cluster>(sim_, *fabric_, *tcpnet_, cfg,
+                                         num_brokers);
+    KD_CHECK_OK(cluster_->Start());
+    KD_CHECK_OK(cluster_->CreateTopic("t", partitions, rf));
+    client_node_ = fabric_->AddNode("client");
+  }
+
+  sim::Simulator sim_;
+  CostModel cost_;
+  std::unique_ptr<net::Fabric> fabric_;
+  std::unique_ptr<tcpnet::Network> tcpnet_;
+  std::unique_ptr<Cluster> cluster_;
+  net::NodeId client_node_ = 0;
+};
+
+sim::Co<void> ProduceN(TcpProducer* producer, TopicPartitionId tp, int n,
+                       size_t size, std::vector<int64_t>* offsets) {
+  std::string value(size, 'p');
+  for (int i = 0; i < n; i++) {
+    auto off = co_await producer->Produce(tp, Slice("k", 1), Slice(value));
+    KD_CHECK(off.ok()) << off.status().ToString();
+    offsets->push_back(off.value());
+  }
+}
+
+// Drives the simulation until `*done` (for workloads with background
+// activity — replica fetchers — that keeps the event queue non-empty).
+void RunToFlag(sim::Simulator& sim, const bool* done,
+               sim::TimeNs deadline = Seconds(120)) {
+  sim.RunUntilDone([done]() { return *done; }, deadline);
+  KD_CHECK(*done) << "simulation deadline reached";
+}
+
+TEST_F(KafkaClusterTest, ProduceAssignsSequentialOffsets) {
+  Boot(1, 1, 1);
+  TopicPartitionId tp{"t", 0};
+  TcpProducer producer(sim_, *tcpnet_, client_node_, ProducerConfig{});
+  std::vector<int64_t> offsets;
+  auto run = [](KafkaClusterTest* t, TcpProducer* p, TopicPartitionId tp,
+                std::vector<int64_t>* offsets) -> sim::Co<void> {
+    KD_CHECK((co_await p->Connect(t->cluster_->LeaderNodeOf(tp))).ok());
+    co_await ProduceN(p, tp, 10, 100, offsets);
+  };
+  sim::Spawn(sim_, run(this, &producer, tp, &offsets));
+  sim_.Run();
+  ASSERT_EQ(offsets.size(), 10u);
+  for (int i = 0; i < 10; i++) EXPECT_EQ(offsets[i], i);
+  EXPECT_EQ(producer.acked_records(), 10u);
+  EXPECT_EQ(cluster_->broker(0)->stats().produce_requests, 10u);
+}
+
+TEST_F(KafkaClusterTest, ProducedRecordsAreConsumable) {
+  Boot(1, 1, 1);
+  TopicPartitionId tp{"t", 0};
+  auto run = [](KafkaClusterTest* t, TopicPartitionId tp,
+                std::vector<OwnedRecord>* got) -> sim::Co<void> {
+    TcpProducer producer(t->sim_, *t->tcpnet_, t->client_node_,
+                         ProducerConfig{});
+    KD_CHECK((co_await producer.Connect(t->cluster_->LeaderNodeOf(tp))).ok());
+    for (int i = 0; i < 5; i++) {
+      std::string v = "value-" + std::to_string(i);
+      KD_CHECK((co_await producer.Produce(tp, Slice("k", 1), Slice(v))).ok());
+    }
+    TcpConsumer consumer(t->sim_, *t->tcpnet_, t->client_node_);
+    KD_CHECK((co_await consumer.Connect(t->cluster_->LeaderNodeOf(tp))).ok());
+    while (got->size() < 5) {
+      auto records = co_await consumer.Poll(tp);
+      KD_CHECK(records.ok());
+      for (auto& r : records.value()) got->push_back(std::move(r));
+    }
+  };
+  std::vector<OwnedRecord> got;
+  sim::Spawn(sim_, run(this, tp, &got));
+  sim_.Run();
+  ASSERT_EQ(got.size(), 5u);
+  for (int i = 0; i < 5; i++) {
+    EXPECT_EQ(got[i].offset, i);
+    EXPECT_EQ(got[i].value, "value-" + std::to_string(i));
+  }
+}
+
+TEST_F(KafkaClusterTest, TcpProduceLatencyMatchesPaperScale) {
+  Boot(1, 1, 1);
+  TopicPartitionId tp{"t", 0};
+  TcpProducer producer(sim_, *tcpnet_, client_node_, ProducerConfig{});
+  std::vector<int64_t> offsets;
+  auto run = [](KafkaClusterTest* t, TcpProducer* p, TopicPartitionId tp,
+                std::vector<int64_t>* offsets) -> sim::Co<void> {
+    KD_CHECK((co_await p->Connect(t->cluster_->LeaderNodeOf(tp))).ok());
+    co_await ProduceN(p, tp, 50, 128, offsets);
+  };
+  sim::Spawn(sim_, run(this, &producer, tp, &offsets));
+  sim_.Run();
+  // Paper Fig. 10: unmodified Kafka ~300 us for small records.
+  int64_t median = producer.latencies().Median();
+  EXPECT_GT(median, Micros(120));
+  EXPECT_LT(median, Micros(600));
+}
+
+TEST_F(KafkaClusterTest, ThreeWayReplicationCommitsOnAllReplicas) {
+  Boot(3, 1, 3);
+  TopicPartitionId tp{"t", 0};
+  std::vector<int64_t> offsets;
+  TcpProducer producer(sim_, *tcpnet_, client_node_,
+                       ProducerConfig{.acks = -1});
+  bool done = false;
+  auto run = [](KafkaClusterTest* t, TcpProducer* p, TopicPartitionId tp,
+                std::vector<int64_t>* offsets, bool* done) -> sim::Co<void> {
+    KD_CHECK((co_await p->Connect(t->cluster_->LeaderNodeOf(tp))).ok());
+    co_await ProduceN(p, tp, 20, 256, offsets);
+    *done = true;
+  };
+  sim::Spawn(sim_, run(this, &producer, tp, &offsets, &done));
+  RunToFlag(sim_, &done);
+  ASSERT_EQ(offsets.size(), 20u);
+  // Every replica holds all records; the leader HWM covers them.
+  for (int b = 0; b < 3; b++) {
+    PartitionState* ps = cluster_->broker(b)->GetPartition(tp);
+    ASSERT_NE(ps, nullptr);
+    EXPECT_EQ(ps->log.log_end_offset(), 20) << "broker " << b;
+  }
+  PartitionState* leader_ps = cluster_->LeaderOf(tp)->GetPartition(tp);
+  EXPECT_EQ(leader_ps->log.high_watermark(), 20);
+}
+
+TEST_F(KafkaClusterTest, ReplicatedDataBytesIdenticalOnFollowers) {
+  Boot(3, 1, 3);
+  TopicPartitionId tp{"t", 0};
+  std::vector<int64_t> offsets;
+  TcpProducer producer(sim_, *tcpnet_, client_node_, ProducerConfig{});
+  bool done = false;
+  auto run = [](KafkaClusterTest* t, TcpProducer* p, TopicPartitionId tp,
+                std::vector<int64_t>* offsets, bool* done) -> sim::Co<void> {
+    KD_CHECK((co_await p->Connect(t->cluster_->LeaderNodeOf(tp))).ok());
+    co_await ProduceN(p, tp, 8, 512, offsets);
+    *done = true;
+  };
+  sim::Spawn(sim_, run(this, &producer, tp, &offsets, &done));
+  RunToFlag(sim_, &done);
+  // Followers may still be catching up on the high watermark; let the
+  // remaining replication round trips land.
+  sim_.RunFor(Millis(20));
+  const Segment& leader_head =
+      cluster_->LeaderOf(tp)->GetPartition(tp)->log.head();
+  for (int b = 0; b < 3; b++) {
+    const Segment& head = cluster_->broker(b)->GetPartition(tp)->log.head();
+    ASSERT_EQ(head.size(), leader_head.size());
+    EXPECT_EQ(std::memcmp(head.data(), leader_head.data(), head.size()), 0);
+  }
+}
+
+TEST_F(KafkaClusterTest, AcksAllWaitsForReplication) {
+  Boot(2, 1, 2);
+  TopicPartitionId tp{"t", 0};
+  std::vector<int64_t> offsets;
+  TcpProducer producer(sim_, *tcpnet_, client_node_,
+                       ProducerConfig{.acks = -1});
+  bool done = false;
+  auto run = [](KafkaClusterTest* t, TcpProducer* p, TopicPartitionId tp,
+                std::vector<int64_t>* offsets, bool* done) -> sim::Co<void> {
+    KD_CHECK((co_await p->Connect(t->cluster_->LeaderNodeOf(tp))).ok());
+    co_await ProduceN(p, tp, 1, 64, offsets);
+    // At ack time the follower must already have the record.
+    PartitionState* follower_ps =
+        t->cluster_->broker(1)->GetPartition(tp);
+    KD_CHECK(follower_ps->log.log_end_offset() >= 1);
+    *done = true;
+  };
+  sim::Spawn(sim_, run(this, &producer, tp, &offsets, &done));
+  RunToFlag(sim_, &done);
+  EXPECT_EQ(offsets.size(), 1u);
+}
+
+TEST_F(KafkaClusterTest, ReplicationLatencyRoughlyDoublesProduceLatency) {
+  // Paper Fig. 14: three-way replication roughly doubles small-record
+  // produce latency vs Fig. 10.
+  Boot(3, 1, 1);
+  TopicPartitionId tp{"t", 0};
+  KD_CHECK_OK(cluster_->CreateTopic("t3", 1, 3));
+  TopicPartitionId tp3{"t3", 0};
+  TcpProducer p1(sim_, *tcpnet_, client_node_, ProducerConfig{});
+  TcpProducer p3(sim_, *tcpnet_, client_node_, ProducerConfig{});
+  auto run = [](KafkaClusterTest* t, TcpProducer* p, TopicPartitionId tp,
+                bool* done) -> sim::Co<void> {
+    KD_CHECK((co_await p->Connect(t->cluster_->LeaderNodeOf(tp))).ok());
+    std::vector<int64_t> offsets;
+    co_await ProduceN(p, tp, 30, 64, &offsets);
+    *done = true;
+  };
+  bool done1 = false, done3 = false;
+  sim::Spawn(sim_, run(this, &p1, tp, &done1));
+  RunToFlag(sim_, &done1);
+  sim::Spawn(sim_, run(this, &p3, tp3, &done3));
+  RunToFlag(sim_, &done3);
+  EXPECT_GT(p3.latencies().Median(), p1.latencies().Median() * 3 / 2);
+}
+
+TEST_F(KafkaClusterTest, FetchFromNonLeaderRejected) {
+  Boot(2, 1, 2);
+  TopicPartitionId tp{"t", 0};
+  Broker* follower = cluster_->broker(1);
+  ASSERT_NE(follower, cluster_->LeaderOf(tp));
+  bool saw_error = false;
+  bool done = false;
+  auto run = [](KafkaClusterTest* t, net::NodeId follower_node,
+                TopicPartitionId tp, bool* saw_error,
+                bool* done) -> sim::Co<void> {
+    TcpConsumer consumer(t->sim_, *t->tcpnet_, t->client_node_);
+    KD_CHECK((co_await consumer.Connect(follower_node)).ok());
+    auto result = co_await consumer.Poll(tp);
+    *saw_error = !result.ok();
+    *done = true;
+  };
+  sim::Spawn(sim_, run(this, follower->node(), tp, &saw_error, &done));
+  RunToFlag(sim_, &done);
+  EXPECT_TRUE(saw_error);
+}
+
+TEST_F(KafkaClusterTest, EmptyFetchesAreCountedAndCheap) {
+  Boot(1, 1, 1);
+  TopicPartitionId tp{"t", 0};
+  auto run = [](KafkaClusterTest* t, TopicPartitionId tp) -> sim::Co<void> {
+    TcpConsumer consumer(t->sim_, *t->tcpnet_, t->client_node_);
+    KD_CHECK((co_await consumer.Connect(t->cluster_->LeaderNodeOf(tp))).ok());
+    for (int i = 0; i < 10; i++) {
+      auto records = co_await consumer.Poll(tp);
+      KD_CHECK(records.ok());
+      KD_CHECK(records.value().empty());
+    }
+  };
+  sim::Spawn(sim_, run(this, tp));
+  sim_.Run();
+  EXPECT_EQ(cluster_->broker(0)->stats().empty_fetch_responses, 10u);
+  // Paper §5.3: an empty TCP fetch costs ~200 us of round trip.
+  EXPECT_GT(sim_.Now() / 10, Micros(80));
+}
+
+TEST_F(KafkaClusterTest, LongPollFetchWakesOnProduce) {
+  Boot(1, 1, 1);
+  TopicPartitionId tp{"t", 0};
+  sim::TimeNs got_data_at = -1;
+  auto consume = [](KafkaClusterTest* t, TopicPartitionId tp,
+                    sim::TimeNs* got_at) -> sim::Co<void> {
+    TcpConsumer consumer(t->sim_, *t->tcpnet_, t->client_node_);
+    KD_CHECK((co_await consumer.Connect(t->cluster_->LeaderNodeOf(tp))).ok());
+    auto records = co_await consumer.Poll(tp, 1 << 20, Seconds(10));
+    KD_CHECK(records.ok());
+    KD_CHECK(records.value().size() == 1);
+    *got_at = t->sim_.Now();
+  };
+  auto produce = [](KafkaClusterTest* t, TopicPartitionId tp)
+      -> sim::Co<void> {
+    co_await sim::Delay(t->sim_, Millis(50));
+    TcpProducer producer(t->sim_, *t->tcpnet_, t->client_node_,
+                         ProducerConfig{});
+    KD_CHECK((co_await producer.Connect(t->cluster_->LeaderNodeOf(tp))).ok());
+    KD_CHECK((co_await producer.Produce(tp, Slice("k", 1),
+                                        Slice("wake", 4))).ok());
+  };
+  sim::Spawn(sim_, consume(this, tp, &got_data_at));
+  sim::Spawn(sim_, produce(this, tp));
+  sim_.Run();
+  // Woken shortly after the produce at t=50ms, not at the 10 s timeout.
+  EXPECT_GT(got_data_at, Millis(50));
+  EXPECT_LT(got_data_at, Millis(52));
+}
+
+TEST_F(KafkaClusterTest, CorruptBatchRejectedByBroker) {
+  Boot(1, 1, 1);
+  TopicPartitionId tp{"t", 0};
+  bool rejected = false;
+  auto run = [](KafkaClusterTest* t, TopicPartitionId tp,
+                bool* rejected) -> sim::Co<void> {
+    auto conn_or = co_await t->tcpnet_->Connect(
+        t->client_node_, t->cluster_->LeaderNodeOf(tp), kKafkaPort);
+    KD_CHECK(conn_or.ok());
+    auto conn = conn_or.value();
+    ProduceRequest req;
+    req.tp = tp;
+    req.acks = 1;
+    req.batch = BuildSingleRecordBatch(0, 0, Slice("k", 1), Slice("v", 1));
+    req.batch[req.batch.size() - 1] ^= 0xFF;  // corrupt the payload
+    KD_CHECK((co_await conn->Send(Encode(req), false)).ok());
+    auto frame = co_await conn->Recv();
+    KD_CHECK(frame.ok());
+    ProduceResponse resp;
+    KD_CHECK(Decode(Slice(frame.value()), &resp).ok());
+    *rejected = resp.error == ErrorCode::kCorruptMessage;
+  };
+  sim::Spawn(sim_, run(this, tp, &rejected));
+  sim_.Run();
+  EXPECT_TRUE(rejected);
+  EXPECT_EQ(cluster_->broker(0)->GetPartition(tp)->log.log_end_offset(), 0);
+}
+
+TEST_F(KafkaClusterTest, MetadataServedByAnyBroker) {
+  Boot(3, 6, 1);
+  bool checked = false;
+  auto run = [](KafkaClusterTest* t, bool* checked) -> sim::Co<void> {
+    auto conn_or = co_await t->tcpnet_->Connect(
+        t->client_node_, t->cluster_->broker(2)->node(), kKafkaPort);
+    KD_CHECK(conn_or.ok());
+    auto conn = conn_or.value();
+    MetadataRequest req{"t"};
+    KD_CHECK((co_await conn->Send(Encode(req), false)).ok());
+    auto frame = co_await conn->Recv();
+    KD_CHECK(frame.ok());
+    MetadataResponse resp;
+    KD_CHECK(Decode(Slice(frame.value()), &resp).ok());
+    KD_CHECK(resp.error == ErrorCode::kNone);
+    KD_CHECK(resp.num_partitions == 6);
+    // Round-robin leader assignment.
+    KD_CHECK(resp.leader_broker[0] == 0);
+    KD_CHECK(resp.leader_broker[1] == 1);
+    KD_CHECK(resp.leader_broker[2] == 2);
+    KD_CHECK(resp.leader_broker[3] == 0);
+    *checked = true;
+  };
+  sim::Spawn(sim_, run(this, &checked));
+  sim_.Run();
+  EXPECT_TRUE(checked);
+}
+
+TEST_F(KafkaClusterTest, CommitAndFetchOffsets) {
+  Boot(1, 1, 1);
+  TopicPartitionId tp{"t", 0};
+  int64_t fetched = -2;
+  auto run = [](KafkaClusterTest* t, TopicPartitionId tp,
+                int64_t* fetched) -> sim::Co<void> {
+    TcpConsumer consumer(t->sim_, *t->tcpnet_, t->client_node_);
+    KD_CHECK((co_await consumer.Connect(t->cluster_->LeaderNodeOf(tp))).ok());
+    auto none = co_await consumer.FetchCommittedOffset(tp, "g1");
+    KD_CHECK(none.ok() && none.value() == -1);
+    KD_CHECK((co_await consumer.CommitOffset(tp, "g1", 41)).ok());
+    auto got = co_await consumer.FetchCommittedOffset(tp, "g1");
+    KD_CHECK(got.ok());
+    *fetched = got.value();
+  };
+  sim::Spawn(sim_, run(this, tp, &fetched));
+  sim_.Run();
+  EXPECT_EQ(fetched, 41);
+}
+
+TEST_F(KafkaClusterTest, PipelinedProduceOutpacesSequential) {
+  Boot(1, 1, 1);
+  TopicPartitionId tp{"t", 0};
+  auto run_with_window = [this, &tp](int window) {
+    sim::TimeNs start = sim_.Now();
+    TcpProducer producer(sim_, *tcpnet_, client_node_,
+                         ProducerConfig{.acks = 1, .max_inflight = window});
+    auto run = [](KafkaClusterTest* t, TcpProducer* p,
+                  TopicPartitionId tp) -> sim::Co<void> {
+      KD_CHECK((co_await p->Connect(t->cluster_->LeaderNodeOf(tp))).ok());
+      std::string v(1024, 'x');
+      for (int i = 0; i < 100; i++) {
+        KD_CHECK((co_await p->ProduceAsync(tp, Slice("k", 1),
+                                           Slice(v))).ok());
+      }
+      KD_CHECK((co_await p->Flush()).ok());
+    };
+    sim::Spawn(sim_, run(this, &producer, tp));
+    sim_.Run();
+    return sim_.Now() - start;
+  };
+  sim::TimeNs seq = run_with_window(1);
+  sim::TimeNs pipe = run_with_window(16);
+  EXPECT_LT(pipe * 2, seq);  // pipelining at least halves total time
+}
+
+TEST_F(KafkaClusterTest, SegmentRollsUnderSustainedProduce) {
+  Boot(1, 1, 1, /*segment_capacity=*/32 * kKiB);
+  TopicPartitionId tp{"t", 0};
+  std::vector<int64_t> offsets;
+  TcpProducer producer(sim_, *tcpnet_, client_node_,
+                       ProducerConfig{.acks = 1, .max_inflight = 8});
+  auto run = [](KafkaClusterTest* t, TcpProducer* p, TopicPartitionId tp,
+                std::vector<int64_t>* offsets) -> sim::Co<void> {
+    KD_CHECK((co_await p->Connect(t->cluster_->LeaderNodeOf(tp))).ok());
+    co_await ProduceN(p, tp, 50, 4096, offsets);
+  };
+  sim::Spawn(sim_, run(this, &producer, tp, &offsets));
+  sim_.Run();
+  PartitionState* ps = cluster_->broker(0)->GetPartition(tp);
+  EXPECT_GT(ps->log.segments().size(), 3u);
+  EXPECT_EQ(ps->log.log_end_offset(), 50);
+}
+
+}  // namespace
+}  // namespace kafka
+}  // namespace kafkadirect

@@ -1,0 +1,103 @@
+// Cluster controller: topic creation, round-robin leader assignment,
+// replica placement, metadata distribution, and parameter validation.
+#include "kafka/cluster.h"
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+
+namespace kafkadirect {
+namespace kafka {
+namespace {
+
+class ClusterTest : public ::testing::Test {
+ public:
+  void Boot(int brokers) {
+    fabric_ = std::make_unique<net::Fabric>(sim_, cost_);
+    tcpnet_ = std::make_unique<tcpnet::Network>(sim_, *fabric_);
+    cluster_ = std::make_unique<Cluster>(sim_, *fabric_, *tcpnet_,
+                                         BrokerConfig{}, brokers);
+    KD_CHECK_OK(cluster_->Start());
+  }
+
+  sim::Simulator sim_;
+  CostModel cost_;
+  std::unique_ptr<net::Fabric> fabric_;
+  std::unique_ptr<tcpnet::Network> tcpnet_;
+  std::unique_ptr<Cluster> cluster_;
+};
+
+TEST_F(ClusterTest, RoundRobinLeaders) {
+  Boot(3);
+  ASSERT_TRUE(cluster_->CreateTopic("t", 7, 1).ok());
+  for (int p = 0; p < 7; p++) {
+    Broker* leader = cluster_->LeaderOf({"t", p});
+    ASSERT_NE(leader, nullptr);
+    EXPECT_EQ(leader->id(), p % 3);
+  }
+}
+
+TEST_F(ClusterTest, ReplicaPlacementIsConsecutive) {
+  Boot(4);
+  ASSERT_TRUE(cluster_->CreateTopic("t", 4, 3).ok());
+  for (int p = 0; p < 4; p++) {
+    // Replicas are leader, leader+1, leader+2 (mod brokers).
+    for (int r = 0; r < 3; r++) {
+      int broker = (p + r) % 4;
+      PartitionState* ps = cluster_->broker(broker)->GetPartition({"t", p});
+      ASSERT_NE(ps, nullptr) << "p" << p << " r" << r;
+      EXPECT_EQ(ps->leader_id, p % 4);
+      EXPECT_EQ(ps->is_leader, broker == p % 4);
+      EXPECT_EQ(ps->replicas.size(), 3u);
+    }
+    // The fourth broker is not a replica.
+    int outsider = (p + 3) % 4;
+    EXPECT_EQ(cluster_->broker(outsider)->GetPartition({"t", p}), nullptr);
+  }
+}
+
+TEST_F(ClusterTest, InvalidParametersRejected) {
+  Boot(2);
+  EXPECT_FALSE(cluster_->CreateTopic("t", 0, 1).ok());
+  EXPECT_FALSE(cluster_->CreateTopic("t", 1, 0).ok());
+  EXPECT_FALSE(cluster_->CreateTopic("t", 1, 3).ok());  // rf > brokers
+}
+
+TEST_F(ClusterTest, DuplicateTopicRejected) {
+  Boot(1);
+  ASSERT_TRUE(cluster_->CreateTopic("t", 1, 1).ok());
+  EXPECT_EQ(cluster_->CreateTopic("t", 2, 1).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST_F(ClusterTest, LeaderOfUnknownTopicIsNull) {
+  Boot(1);
+  EXPECT_EQ(cluster_->LeaderOf({"nope", 0}), nullptr);
+  ASSERT_TRUE(cluster_->CreateTopic("t", 2, 1).ok());
+  EXPECT_EQ(cluster_->LeaderOf({"t", 5}), nullptr);   // bad partition
+  EXPECT_EQ(cluster_->LeaderOf({"t", -1}), nullptr);  // negative
+}
+
+TEST_F(ClusterTest, MetadataDistributedToAllBrokers) {
+  Boot(3);
+  ASSERT_TRUE(cluster_->CreateTopic("orders", 6, 2).ok());
+  // Every broker can answer metadata for the topic (exercised end-to-end
+  // in broker_test; here we validate leader bookkeeping directly).
+  for (int p = 0; p < 6; p++) {
+    EXPECT_EQ(cluster_->LeaderOf({"orders", p})->id(), p % 3);
+  }
+}
+
+TEST_F(ClusterTest, MultipleTopicsCoexist) {
+  Boot(2);
+  ASSERT_TRUE(cluster_->CreateTopic("a", 1, 1).ok());
+  ASSERT_TRUE(cluster_->CreateTopic("b", 2, 2).ok());
+  EXPECT_NE(cluster_->broker(0)->GetPartition({"a", 0}), nullptr);
+  EXPECT_NE(cluster_->broker(0)->GetPartition({"b", 0}), nullptr);
+  EXPECT_NE(cluster_->broker(1)->GetPartition({"b", 0}), nullptr);  // replica
+  EXPECT_EQ(cluster_->broker(1)->GetPartition({"a", 0}), nullptr);
+}
+
+}  // namespace
+}  // namespace kafka
+}  // namespace kafkadirect

@@ -1,0 +1,173 @@
+#include "kafka/protocol.h"
+
+#include <gtest/gtest.h>
+
+namespace kafkadirect {
+namespace kafka {
+namespace {
+
+TEST(ProtocolTest, ProduceRequestRoundTrip) {
+  ProduceRequest m;
+  m.tp = {"orders", 3};
+  m.acks = -1;
+  m.batch = {1, 2, 3, 4, 5};
+  auto bytes = Encode(m);
+  EXPECT_EQ(PeekType(Slice(bytes)), MsgType::kProduceRequest);
+  ProduceRequest out;
+  ASSERT_TRUE(Decode(Slice(bytes), &out).ok());
+  EXPECT_EQ(out.tp, m.tp);
+  EXPECT_EQ(out.acks, -1);
+  EXPECT_EQ(out.batch, m.batch);
+}
+
+TEST(ProtocolTest, ProduceResponseRoundTrip) {
+  ProduceResponse m{ErrorCode::kNotLeader, 12345};
+  ProduceResponse out;
+  ASSERT_TRUE(Decode(Slice(Encode(m)), &out).ok());
+  EXPECT_EQ(out.error, ErrorCode::kNotLeader);
+  EXPECT_EQ(out.base_offset, 12345);
+}
+
+TEST(ProtocolTest, FetchRoundTrip) {
+  FetchRequest m;
+  m.tp = {"t", 0};
+  m.offset = 999;
+  m.max_bytes = 4096;
+  m.max_wait_ns = 5000000;
+  m.is_replica = true;
+  m.replica_id = 2;
+  FetchRequest out;
+  ASSERT_TRUE(Decode(Slice(Encode(m)), &out).ok());
+  EXPECT_EQ(out.offset, 999);
+  EXPECT_EQ(out.max_bytes, 4096u);
+  EXPECT_EQ(out.max_wait_ns, 5000000);
+  EXPECT_TRUE(out.is_replica);
+  EXPECT_EQ(out.replica_id, 2);
+
+  FetchResponse resp;
+  resp.error = ErrorCode::kNone;
+  resp.high_watermark = 10;
+  resp.log_end_offset = 12;
+  resp.batches = {9, 9, 9};
+  FetchResponse rout;
+  ASSERT_TRUE(Decode(Slice(Encode(resp)), &rout).ok());
+  EXPECT_EQ(rout.high_watermark, 10);
+  EXPECT_EQ(rout.log_end_offset, 12);
+  EXPECT_EQ(rout.batches, resp.batches);
+}
+
+TEST(ProtocolTest, MetadataRoundTrip) {
+  MetadataResponse m;
+  m.num_partitions = 3;
+  m.leader_broker = {0, 1, 2};
+  MetadataResponse out;
+  ASSERT_TRUE(Decode(Slice(Encode(m)), &out).ok());
+  EXPECT_EQ(out.leader_broker, m.leader_broker);
+}
+
+TEST(ProtocolTest, RdmaProduceAccessRoundTrip) {
+  RdmaProduceAccessRequest req;
+  req.tp = {"topic", 1};
+  req.exclusive = false;
+  req.stale_file_id = 7;
+  RdmaProduceAccessRequest rout;
+  ASSERT_TRUE(Decode(Slice(Encode(req)), &rout).ok());
+  EXPECT_FALSE(rout.exclusive);
+  EXPECT_EQ(rout.stale_file_id, 7);
+
+  RdmaProduceAccessResponse resp;
+  resp.file_id = 42;
+  resp.addr = 0xDEADBEEF000;
+  resp.rkey = 17;
+  resp.capacity = 1 << 30;
+  resp.write_pos = 4096;
+  resp.atomic_addr = 0xABC0;
+  resp.atomic_rkey = 18;
+  resp.next_order = 5;
+  RdmaProduceAccessResponse pout;
+  ASSERT_TRUE(Decode(Slice(Encode(resp)), &pout).ok());
+  EXPECT_EQ(pout.file_id, 42);
+  EXPECT_EQ(pout.addr, 0xDEADBEEF000u);
+  EXPECT_EQ(pout.capacity, 1u << 30);
+  EXPECT_EQ(pout.write_pos, 4096u);
+  EXPECT_EQ(pout.atomic_addr, 0xABC0u);
+  EXPECT_EQ(pout.next_order, 5);
+}
+
+TEST(ProtocolTest, RdmaConsumeAccessRoundTrip) {
+  RdmaConsumeAccessResponse resp;
+  resp.file_ref = 3;
+  resp.addr = 123456;
+  resp.rkey = 9;
+  resp.start_pos = 100;
+  resp.start_offset = 57;
+  resp.last_readable = 5000;
+  resp.is_mutable = true;
+  resp.slot_index = 2;
+  resp.slot_region_addr = 777;
+  resp.slot_rkey = 10;
+  RdmaConsumeAccessResponse out;
+  ASSERT_TRUE(Decode(Slice(Encode(resp)), &out).ok());
+  EXPECT_EQ(out.start_offset, 57);
+  EXPECT_EQ(out.last_readable, 5000u);
+  EXPECT_TRUE(out.is_mutable);
+  EXPECT_EQ(out.slot_index, 2u);
+  EXPECT_EQ(out.slot_region_addr, 777u);
+}
+
+TEST(ProtocolTest, ReplicaRdmaAccessRoundTrip) {
+  ReplicaRdmaAccessResponse resp;
+  resp.file_id = 11;
+  resp.credits = 64;
+  resp.capacity = 1024;
+  ReplicaRdmaAccessResponse out;
+  ASSERT_TRUE(Decode(Slice(Encode(resp)), &out).ok());
+  EXPECT_EQ(out.file_id, 11);
+  EXPECT_EQ(out.credits, 64u);
+}
+
+TEST(ProtocolTest, CommitOffsetRoundTrip) {
+  CommitOffsetRequest req;
+  req.tp = {"t", 0};
+  req.group = "spark-engine";
+  req.offset = 42;
+  CommitOffsetRequest out;
+  ASSERT_TRUE(Decode(Slice(Encode(req)), &out).ok());
+  EXPECT_EQ(out.group, "spark-engine");
+  EXPECT_EQ(out.offset, 42);
+}
+
+TEST(ProtocolTest, TypeMismatchRejected) {
+  ProduceRequest m;
+  m.tp = {"t", 0};
+  auto bytes = Encode(m);
+  FetchRequest wrong;
+  EXPECT_FALSE(Decode(Slice(bytes), &wrong).ok());
+}
+
+TEST(ProtocolTest, TruncatedFrameRejected) {
+  ProduceRequest m;
+  m.tp = {"topic-name", 0};
+  m.batch = std::vector<uint8_t>(100, 1);
+  auto bytes = Encode(m);
+  ProduceRequest out;
+  EXPECT_FALSE(Decode(Slice(bytes.data(), bytes.size() - 50), &out).ok());
+}
+
+TEST(ProtocolTest, ErrorCodeNames) {
+  EXPECT_STREQ(ErrorCodeName(ErrorCode::kNone), "None");
+  EXPECT_STREQ(ErrorCodeName(ErrorCode::kNotLeader), "NotLeader");
+  EXPECT_STREQ(ErrorCodeName(ErrorCode::kRdmaAccessDenied),
+               "RdmaAccessDenied");
+}
+
+TEST(ProtocolTest, TopicPartitionOrdering) {
+  TopicPartitionId a{"a", 1}, b{"a", 2}, c{"b", 0};
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_EQ(a.ToString(), "a-1");
+}
+
+}  // namespace
+}  // namespace kafka
+}  // namespace kafkadirect

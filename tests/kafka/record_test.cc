@@ -1,0 +1,161 @@
+#include "kafka/record.h"
+
+#include <gtest/gtest.h>
+
+#include "common/byte_order.h"
+
+namespace kafkadirect {
+namespace kafka {
+namespace {
+
+TEST(RecordBatchTest, BuildParseRoundTrip) {
+  RecordBatchBuilder b(/*base_offset=*/100, /*first_timestamp=*/5000,
+                       /*producer_id=*/7);
+  b.Add(Slice("k1", 2), Slice("v1", 2), 0);
+  b.Add(Slice("k2", 2), Slice("value-two", 9), 3);
+  auto bytes = b.Build();
+
+  auto view_or = RecordBatchView::Parse(Slice(bytes));
+  ASSERT_TRUE(view_or.ok()) << view_or.status().ToString();
+  const RecordBatchView& view = view_or.value();
+  EXPECT_EQ(view.base_offset(), 100);
+  EXPECT_EQ(view.record_count(), 2u);
+  EXPECT_EQ(view.first_timestamp(), 5000);
+  EXPECT_EQ(view.producer_id(), 7u);
+  EXPECT_EQ(view.total_size(), bytes.size());
+  EXPECT_EQ(view.last_offset(), 101);
+
+  auto records = view.Records().value();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].offset, 100);
+  EXPECT_EQ(records[0].key.ToString(), "k1");
+  EXPECT_EQ(records[0].value.ToString(), "v1");
+  EXPECT_EQ(records[0].timestamp, 5000);
+  EXPECT_EQ(records[1].offset, 101);
+  EXPECT_EQ(records[1].value.ToString(), "value-two");
+  EXPECT_EQ(records[1].timestamp, 5003);
+}
+
+TEST(RecordBatchTest, NullKey) {
+  RecordBatchBuilder b(0, 0, 0);
+  b.Add(Slice(), Slice("payload", 7), 0, /*null_key=*/true);
+  auto bytes = b.Build();
+  auto view = RecordBatchView::Parse(Slice(bytes)).value();
+  auto records = view.Records().value();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_TRUE(records[0].key.empty());
+  EXPECT_EQ(records[0].value.ToString(), "payload");
+}
+
+TEST(RecordBatchTest, SingleRecordHelper) {
+  auto bytes = BuildSingleRecordBatch(5, 123, Slice("k", 1), Slice("v", 1));
+  auto view = RecordBatchView::Parse(Slice(bytes)).value();
+  EXPECT_EQ(view.base_offset(), 5);
+  EXPECT_EQ(view.record_count(), 1u);
+}
+
+TEST(RecordBatchTest, PeekBatchSize) {
+  auto bytes = BuildSingleRecordBatch(0, 0, Slice("key", 3),
+                                      Slice("value", 5));
+  EXPECT_EQ(RecordBatchView::PeekBatchSize(Slice(bytes)).value(),
+            bytes.size());
+  // Works on a 12-byte prefix of a partially-fetched batch.
+  EXPECT_EQ(RecordBatchView::PeekBatchSize(
+                Slice(bytes.data(), kBatchPrefixSize))
+                .value(),
+            bytes.size());
+  EXPECT_FALSE(RecordBatchView::PeekBatchSize(Slice(bytes.data(), 11)).ok());
+}
+
+TEST(RecordBatchTest, CrcDetectsCorruption) {
+  auto bytes = BuildSingleRecordBatch(0, 0, Slice("k", 1),
+                                      Slice("corrupt-me", 10));
+  // Flip a payload bit.
+  bytes[bytes.size() - 5] ^= 0x40;
+  auto result = RecordBatchView::Parse(Slice(bytes));
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsCorruption());
+  // Unchecked parse still walks the structure.
+  EXPECT_TRUE(RecordBatchView::ParseUnchecked(Slice(bytes)).ok());
+}
+
+TEST(RecordBatchTest, BaseOffsetPatchPreservesCrc) {
+  // The broker assigns offsets by patching base_offset in place; the CRC
+  // must remain valid (this is what enables zero-copy commit, §4.2.2).
+  auto bytes = BuildSingleRecordBatch(0, 0, Slice("k", 1), Slice("v", 1));
+  SetBaseOffset(bytes.data(), 987654);
+  auto view_or = RecordBatchView::Parse(Slice(bytes));
+  ASSERT_TRUE(view_or.ok());
+  EXPECT_EQ(view_or.value().base_offset(), 987654);
+  EXPECT_EQ(GetBaseOffset(bytes.data()), 987654);
+}
+
+TEST(RecordBatchTest, TruncatedBatchRejected) {
+  auto bytes = BuildSingleRecordBatch(0, 0, Slice("k", 1),
+                                      Slice("0123456789", 10));
+  Slice truncated(bytes.data(), bytes.size() - 3);
+  auto result = RecordBatchView::Parse(truncated);
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsOutOfRange());
+}
+
+TEST(RecordBatchTest, BadMagicRejected) {
+  auto bytes = BuildSingleRecordBatch(0, 0, Slice("k", 1), Slice("v", 1));
+  EncodeFixed16(bytes.data() + 16, 99);
+  EXPECT_TRUE(RecordBatchView::Parse(Slice(bytes)).status().IsCorruption());
+}
+
+TEST(RecordBatchTest, LyingRecordCountRejected) {
+  RecordBatchBuilder b(0, 0, 0);
+  b.Add(Slice("k", 1), Slice("v", 1));
+  auto bytes = b.Build();
+  EncodeFixed32(bytes.data() + 20, 2);  // claims 2 records
+  auto result = RecordBatchView::ParseUnchecked(Slice(bytes));
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(RecordBatchTest, OversizeValueRejected) {
+  std::vector<uint8_t> bytes = BuildSingleRecordBatch(0, 0, Slice("k", 1),
+                                                      Slice("v", 1));
+  // Forge an oversized value length inside the record.
+  EncodeFixed32(bytes.data() + kBatchHeaderSize + 4 + 1, kMaxRecordSize + 1);
+  auto result = RecordBatchView::ParseUnchecked(Slice(bytes));
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(RecordBatchTest, EmptyBatchRejected) {
+  RecordBatchBuilder b(0, 0, 0);
+  auto bytes = b.Build();
+  EXPECT_FALSE(RecordBatchView::ParseUnchecked(Slice(bytes)).ok());
+}
+
+TEST(RecordBatchTest, LargeValuesRoundTrip) {
+  std::string big(512 * 1024, 'x');
+  auto bytes = BuildSingleRecordBatch(0, 0, Slice("k", 1), Slice(big));
+  auto view = RecordBatchView::Parse(Slice(bytes)).value();
+  auto records = view.Records().value();
+  EXPECT_EQ(records[0].value.size(), big.size());
+}
+
+class BatchSizeSweepTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(BatchSizeSweepTest, RoundTripsAtAllSizes) {
+  size_t value_size = GetParam();
+  std::string value(value_size, 'z');
+  auto bytes = BuildSingleRecordBatch(42, 9, Slice("key", 3), Slice(value));
+  auto view_or = RecordBatchView::Parse(Slice(bytes));
+  ASSERT_TRUE(view_or.ok());
+  auto records = view_or.value().Records().value();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].value.size(), value_size);
+  EXPECT_EQ(records[0].offset, 42);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperRecordSizes, BatchSizeSweepTest,
+                         ::testing::Values(0, 1, 32, 64, 128, 256, 512, 1024,
+                                           2048, 4096, 8192, 16384, 32768,
+                                           65536, 131072));
+
+}  // namespace
+}  // namespace kafka
+}  // namespace kafkadirect

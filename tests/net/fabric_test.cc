@@ -1,0 +1,110 @@
+#include "net/fabric.h"
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+
+namespace kafkadirect {
+namespace net {
+namespace {
+
+class FabricTest : public ::testing::Test {
+ protected:
+  FabricTest() : fabric_(sim_, cost_) {
+    a_ = fabric_.AddNode("a");
+    b_ = fabric_.AddNode("b");
+    c_ = fabric_.AddNode("c");
+  }
+
+  sim::Simulator sim_;
+  CostModel cost_;
+  Fabric fabric_{sim_, cost_};
+  NodeId a_, b_, c_;
+};
+
+TEST_F(FabricTest, WireBytesAddsPerPacketHeaders) {
+  const LinkModel& l = cost_.link;
+  EXPECT_EQ(fabric_.WireBytes(0), l.header_bytes);  // min one packet
+  EXPECT_EQ(fabric_.WireBytes(100), 100 + l.header_bytes);
+  EXPECT_EQ(fabric_.WireBytes(l.mtu_bytes), l.mtu_bytes + l.header_bytes);
+  EXPECT_EQ(fabric_.WireBytes(l.mtu_bytes + 1),
+            l.mtu_bytes + 1 + 2 * l.header_bytes);
+}
+
+TEST_F(FabricTest, UncontendedLatencyIsWirePlusPropagation) {
+  sim::TimeNs arrival = fabric_.ReserveTransfer(a_, b_, 1000);
+  sim::TimeNs expected = fabric_.WireTime(1000) + cost_.link.propagation_ns;
+  EXPECT_EQ(arrival, expected);
+}
+
+TEST_F(FabricTest, EgressSerializesBackToBack) {
+  sim::TimeNs t1 = fabric_.ReserveTransfer(a_, b_, 64 * kKiB);
+  sim::TimeNs t2 = fabric_.ReserveTransfer(a_, b_, 64 * kKiB);
+  EXPECT_EQ(t2 - t1, fabric_.WireTime(64 * kKiB));
+}
+
+TEST_F(FabricTest, SustainedThroughputMatchesLinkRate) {
+  const uint64_t size = 32 * kKiB;
+  const int n = 1000;
+  sim::TimeNs last = 0;
+  for (int i = 0; i < n; i++) last = fabric_.ReserveTransfer(a_, b_, size);
+  double gibps = RateGiBps(static_cast<double>(size) * n,
+                           static_cast<double>(last));
+  // ~6 GiB/s modulo header overhead and propagation.
+  EXPECT_GT(gibps, 5.5);
+  EXPECT_LT(gibps, 6.2);
+}
+
+TEST_F(FabricTest, IngressContentionSharesReceiverPort) {
+  // Two senders saturating one receiver: aggregate arrival rate is capped
+  // by the receiver's ingress, so the last arrival takes ~2x one sender's
+  // serialization total.
+  const uint64_t size = 64 * kKiB;
+  const int n = 100;
+  sim::TimeNs last = 0;
+  for (int i = 0; i < n; i++) {
+    last = std::max(last, fabric_.ReserveTransfer(a_, c_, size));
+    last = std::max(last, fabric_.ReserveTransfer(b_, c_, size));
+  }
+  double total_bytes = static_cast<double>(size) * 2 * n;
+  double gibps = RateGiBps(total_bytes, static_cast<double>(last));
+  EXPECT_GT(gibps, 5.5);
+  EXPECT_LT(gibps, 6.2);
+}
+
+TEST_F(FabricTest, DistinctPairsDoNotContend) {
+  NodeId d = fabric_.AddNode("d");
+  sim::TimeNs t1 = fabric_.ReserveTransfer(a_, b_, kMiB);
+  sim::TimeNs t2 = fabric_.ReserveTransfer(c_, d, kMiB);
+  EXPECT_EQ(t1, t2);  // independent ports, same timing
+}
+
+TEST_F(FabricTest, LoopbackIsCheap) {
+  sim::TimeNs t = fabric_.ReserveTransfer(a_, a_, kMiB);
+  EXPECT_EQ(t, cost_.link.loopback_ns);
+}
+
+TEST_F(FabricTest, EarliestBoundRespected) {
+  sim::TimeNs t = fabric_.ReserveTransfer(a_, b_, 100, /*earliest=*/5000);
+  EXPECT_GE(t, 5000 + fabric_.WireTime(100));
+}
+
+TEST_F(FabricTest, ArrivalsInOrderPerPair) {
+  sim::TimeNs prev = 0;
+  for (int i = 0; i < 50; i++) {
+    uint64_t size = (i % 2 == 0) ? 128 * kKiB : 64;
+    sim::TimeNs t = fabric_.ReserveTransfer(a_, b_, size);
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+}
+
+TEST_F(FabricTest, TracksBytesSent) {
+  fabric_.ReserveTransfer(a_, b_, 100);
+  fabric_.ReserveTransfer(a_, b_, 200);
+  EXPECT_EQ(fabric_.bytes_sent(a_), 300u);
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace kafkadirect

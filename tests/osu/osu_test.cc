@@ -1,0 +1,198 @@
+// OSU-Kafka baseline: the unchanged Kafka protocol over a two-sided RDMA
+// Send/Recv transport with bounce-buffer copies (§4, §5 of the paper).
+#include "osu/osu_transport.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/direct/kd_test_util.h"
+
+namespace kafkadirect {
+namespace osu {
+namespace {
+
+using kafka::TopicPartitionId;
+using kd::KdClusterTest;
+
+class OsuTest : public KdClusterTest {
+ public:
+  // Boots a cluster whose brokers also serve an OSU listener.
+  void BootOsu(int num_brokers, int partitions, int rf) {
+    Boot(num_brokers, partitions, rf, /*rdma_produce=*/false);
+    for (int b = 0; b < num_brokers; b++) {
+      auto listener = std::make_shared<OsuListener>(sim_);
+      listeners_.push_back(listener);
+      cluster_->broker(b)->ServeListener(listener);
+    }
+    client_rnic_ = std::make_unique<rdma::Rnic>(sim_, *fabric_, client_node_);
+  }
+
+  OsuListener* ListenerOf(const TopicPartitionId& tp) {
+    return listeners_[cluster_->LeaderOf(tp)->id()].get();
+  }
+
+  std::vector<std::shared_ptr<OsuListener>> listeners_;
+  std::unique_ptr<rdma::Rnic> client_rnic_;
+};
+
+TEST_F(OsuTest, ProduceConsumeOverTwoSidedRdma) {
+  BootOsu(1, 1, 1);
+  TopicPartitionId tp{"t", 0};
+  std::vector<kafka::OwnedRecord> got;
+  bool done = false;
+  auto run = [](OsuTest* t, TopicPartitionId tp,
+                std::vector<kafka::OwnedRecord>* got,
+                bool* done) -> sim::Co<void> {
+    auto chan = co_await OsuConnect(t->sim_, *t->fabric_, *t->client_rnic_,
+                                    t->Leader(tp), t->ListenerOf(tp));
+    KD_CHECK(chan.ok());
+    kafka::TcpProducer producer(t->sim_, *t->tcpnet_, t->client_node_,
+                                kafka::ProducerConfig{});
+    KD_CHECK(producer.ConnectWith(chan.value()).ok());
+    for (int i = 0; i < 5; i++) {
+      std::string v = "osu-" + std::to_string(i);
+      auto off = co_await producer.Produce(tp, Slice("k", 1), Slice(v));
+      KD_CHECK(off.ok()) << off.status().ToString();
+    }
+    auto cchan = co_await OsuConnect(t->sim_, *t->fabric_, *t->client_rnic_,
+                                     t->Leader(tp), t->ListenerOf(tp));
+    KD_CHECK(cchan.ok());
+    kafka::TcpConsumer consumer(t->sim_, *t->tcpnet_, t->client_node_);
+    consumer.ConnectWith(cchan.value());
+    while (got->size() < 5) {
+      auto records = co_await consumer.Poll(tp);
+      KD_CHECK(records.ok());
+      for (auto& r : records.value()) got->push_back(std::move(r));
+    }
+    *done = true;
+  };
+  sim::Spawn(sim_, run(this, tp, &got, &done));
+  RunToFlag(&done);
+  ASSERT_EQ(got.size(), 5u);
+  for (int i = 0; i < 5; i++) {
+    EXPECT_EQ(got[i].offset, i);
+    EXPECT_EQ(got[i].value, "osu-" + std::to_string(i));
+  }
+}
+
+TEST_F(OsuTest, LatencyBetweenTcpAndKafkaDirect) {
+  // Paper Fig. 10: OSU cuts ~90 us off Kafka's produce latency but stays
+  // well above KafkaDirect's one-sided path.
+  BootOsu(1, 1, 1);
+  TopicPartitionId tp{"t", 0};
+  Histogram osu_lat, tcp_lat;
+  bool done = false;
+  auto run = [](OsuTest* t, TopicPartitionId tp, Histogram* osu_lat,
+                Histogram* tcp_lat, bool* done) -> sim::Co<void> {
+    // OSU producer.
+    auto chan = co_await OsuConnect(t->sim_, *t->fabric_, *t->client_rnic_,
+                                    t->Leader(tp), t->ListenerOf(tp));
+    KD_CHECK(chan.ok());
+    kafka::TcpProducer osu_prod(t->sim_, *t->tcpnet_, t->client_node_,
+                                kafka::ProducerConfig{});
+    KD_CHECK(osu_prod.ConnectWith(chan.value()).ok());
+    std::string v(128, 'x');
+    for (int i = 0; i < 40; i++) {
+      KD_CHECK((co_await osu_prod.Produce(tp, Slice("k", 1), Slice(v))).ok());
+    }
+    *osu_lat = osu_prod.latencies();
+    // Plain TCP producer, same topic.
+    kafka::TcpProducer tcp_prod(t->sim_, *t->tcpnet_, t->client_node_,
+                                kafka::ProducerConfig{});
+    KD_CHECK((co_await tcp_prod.Connect(t->Leader(tp)->node())).ok());
+    for (int i = 0; i < 40; i++) {
+      KD_CHECK((co_await tcp_prod.Produce(tp, Slice("k", 1), Slice(v))).ok());
+    }
+    *tcp_lat = tcp_prod.latencies();
+    *done = true;
+  };
+  sim::Spawn(sim_, run(this, tp, &osu_lat, &tcp_lat, &done));
+  RunToFlag(&done);
+  // OSU beats TCP but by far less than the one-sided design (Fig. 10).
+  EXPECT_LT(osu_lat.Median() + Micros(30), tcp_lat.Median())
+      << "osu=" << osu_lat.Median() / 1000
+      << "us tcp=" << tcp_lat.Median() / 1000 << "us";
+  EXPECT_GT(osu_lat.Median(), Micros(120));
+}
+
+TEST_F(OsuTest, LargeFramesFragmentAndReassemble) {
+  BootOsu(1, 1, 1);
+  TopicPartitionId tp{"t", 0};
+  bool done = false;
+  auto run = [](OsuTest* t, TopicPartitionId tp, bool* done) -> sim::Co<void> {
+    OsuConfig small_bufs;
+    small_bufs.buffer_size = 4096;  // force fragmentation
+    auto chan = co_await OsuConnect(t->sim_, *t->fabric_, *t->client_rnic_,
+                                    t->Leader(tp), t->ListenerOf(tp),
+                                    small_bufs);
+    KD_CHECK(chan.ok());
+    kafka::TcpProducer producer(t->sim_, *t->tcpnet_, t->client_node_,
+                                kafka::ProducerConfig{});
+    KD_CHECK(producer.ConnectWith(chan.value()).ok());
+    std::string big(64 * kKiB, 'F');
+    auto off = co_await producer.Produce(tp, Slice("k", 1), Slice(big));
+    KD_CHECK(off.ok()) << off.status().ToString();
+    *done = true;
+  };
+  sim::Spawn(sim_, run(this, tp, &done));
+  RunToFlag(&done);
+  // The 64 KiB record committed intact despite 4 KiB bounce buffers.
+  kafka::PartitionState* ps = Leader(tp)->GetPartition(tp);
+  EXPECT_EQ(ps->log.log_end_offset(), 1);
+  auto data = ps->log.Read(0, 1u << 20, 1).value();
+  auto view = kafka::RecordBatchView::Parse(Slice(data)).value();
+  EXPECT_TRUE(view.VerifyCrc().ok());
+}
+
+TEST_F(OsuTest, SustainedPipelineWithSmallRecvDepth) {
+  // The bounce-buffer pool is finite; a sustained pipelined produce burst
+  // must not overrun the pre-posted receives (the send window throttles).
+  BootOsu(1, 1, 1);
+  TopicPartitionId tp{"t", 0};
+  bool done = false;
+  auto run = [](OsuTest* t, TopicPartitionId tp, bool* done) -> sim::Co<void> {
+    OsuConfig config;
+    config.recv_depth = 8;  // tiny
+    auto chan = co_await OsuConnect(t->sim_, *t->fabric_, *t->client_rnic_,
+                                    t->Leader(tp), t->ListenerOf(tp), config);
+    KD_CHECK(chan.ok());
+    kafka::TcpProducer producer(t->sim_, *t->tcpnet_, t->client_node_,
+                                kafka::ProducerConfig{.max_inflight = 4});
+    KD_CHECK(producer.ConnectWith(chan.value()).ok());
+    std::string v(256, 'd');
+    for (int i = 0; i < 100; i++) {
+      KD_CHECK((co_await producer.ProduceAsync(tp, Slice("k", 1),
+                                               Slice(v))).ok());
+    }
+    KD_CHECK((co_await producer.Flush()).ok());
+    KD_CHECK(producer.errors() == 0);
+    *done = true;
+  };
+  sim::Spawn(sim_, run(this, tp, &done));
+  RunToFlag(&done);
+  EXPECT_EQ(Leader(tp)->GetPartition(tp)->log.log_end_offset(), 100);
+}
+
+TEST_F(OsuTest, CloseTearsDownCleanly) {
+  BootOsu(1, 1, 1);
+  TopicPartitionId tp{"t", 0};
+  bool done = false;
+  auto run = [](OsuTest* t, TopicPartitionId tp, bool* done) -> sim::Co<void> {
+    auto chan = co_await OsuConnect(t->sim_, *t->fabric_, *t->client_rnic_,
+                                    t->Leader(tp), t->ListenerOf(tp));
+    KD_CHECK(chan.ok());
+    net::MessageStreamPtr stream = chan.value();
+    std::vector<uint8_t> msg1 = {1, 2, 3};
+    KD_CHECK((co_await stream->Send(msg1, false)).ok());
+    stream->Close();
+    std::vector<uint8_t> msg2 = {4, 5, 6};
+    Status late = co_await stream->Send(msg2, false);
+    KD_CHECK(late.IsDisconnected());
+    *done = true;
+  };
+  sim::Spawn(sim_, run(this, tp, &done));
+  RunToFlag(&done);
+}
+
+}  // namespace
+}  // namespace osu
+}  // namespace kafkadirect

@@ -1,0 +1,225 @@
+// Failure semantics: remote access violations, RNR, CQ overflow,
+// deregistration-based revocation, and disconnect events — the mechanisms
+// KafkaDirect's failure handling (§4.2.2) and flow control (§4.3.2) build on.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/units.h"
+#include "rdma/queue_pair.h"
+#include "rdma/rnic.h"
+#include "sim/awaitable.h"
+
+namespace kafkadirect {
+namespace rdma {
+namespace {
+
+class FailureTest : public ::testing::Test {
+ protected:
+  FailureTest()
+      : fabric_(sim_, cost_),
+        client_node_(fabric_.AddNode("client")),
+        server_node_(fabric_.AddNode("server")),
+        client_nic_(sim_, fabric_, client_node_),
+        server_nic_(sim_, fabric_, server_node_) {
+    client_cq_ = client_nic_.CreateCq();
+    server_cq_ = server_nic_.CreateCq();
+    client_qp_ = client_nic_.CreateQp(client_cq_, client_cq_);
+    server_qp_ = server_nic_.CreateQp(server_cq_, server_cq_);
+    KD_CHECK_OK(Connect(client_qp_, server_qp_));
+  }
+
+  WorkRequest MakeWrite(const MemoryRegionPtr& mr, uint8_t* src,
+                        uint32_t len) {
+    WorkRequest wr;
+    wr.opcode = Opcode::kWrite;
+    wr.local_addr = src;
+    wr.length = len;
+    wr.remote_addr = mr->addr();
+    wr.rkey = mr->rkey();
+    return wr;
+  }
+
+  sim::Simulator sim_;
+  CostModel cost_;
+  net::Fabric fabric_;
+  net::NodeId client_node_, server_node_;
+  Rnic client_nic_, server_nic_;
+  std::shared_ptr<CompletionQueue> client_cq_, server_cq_;
+  std::shared_ptr<QueuePair> client_qp_, server_qp_;
+};
+
+TEST_F(FailureTest, WriteBeyondRegionFailsAndKillsQp) {
+  std::vector<uint8_t> remote(64);
+  auto mr = server_nic_
+                .RegisterMemory(remote.data(), remote.size(),
+                                kAccessRemoteWrite)
+                .value();
+  std::vector<uint8_t> local(128, 1);
+  WorkRequest wr = MakeWrite(mr, local.data(), 128);  // larger than region
+  ASSERT_TRUE(client_qp_->PostSend(wr).ok());
+  sim_.Run();
+  auto wc = client_cq_->Poll();
+  ASSERT_TRUE(wc.has_value());
+  EXPECT_EQ(wc->status, WcStatus::kRemoteAccessError);
+  EXPECT_EQ(client_qp_->state(), QueuePair::State::kError);
+  EXPECT_EQ(server_qp_->state(), QueuePair::State::kError);
+}
+
+TEST_F(FailureTest, WrongRkeyFails) {
+  std::vector<uint8_t> remote(64);
+  auto mr = server_nic_
+                .RegisterMemory(remote.data(), remote.size(),
+                                kAccessRemoteWrite)
+                .value();
+  std::vector<uint8_t> local(8, 1);
+  WorkRequest wr = MakeWrite(mr, local.data(), 8);
+  wr.rkey = mr->rkey() + 12345;
+  ASSERT_TRUE(client_qp_->PostSend(wr).ok());
+  sim_.Run();
+  auto wc = client_cq_->Poll();
+  ASSERT_TRUE(wc.has_value());
+  EXPECT_EQ(wc->status, WcStatus::kRemoteAccessError);
+}
+
+TEST_F(FailureTest, DeregistrationRevokesInFlightAccess) {
+  // The paper's revocation story: the broker disables RDMA access to a file
+  // by deregistering it; a faulty client's late write must not land.
+  std::vector<uint8_t> remote(64, 0);
+  auto mr = server_nic_
+                .RegisterMemory(remote.data(), remote.size(),
+                                kAccessRemoteWrite)
+                .value();
+  std::vector<uint8_t> local(8, 0xEE);
+  WorkRequest wr = MakeWrite(mr, local.data(), 8);
+  ASSERT_TRUE(client_qp_->PostSend(wr).ok());
+  // Revoke before the write executes remotely.
+  ASSERT_TRUE(server_nic_.DeregisterMemory(mr).ok());
+  sim_.Run();
+  auto wc = client_cq_->Poll();
+  ASSERT_TRUE(wc.has_value());
+  EXPECT_EQ(wc->status, WcStatus::kRemoteAccessError);
+  EXPECT_EQ(remote[0], 0);  // nothing landed
+}
+
+TEST_F(FailureTest, SendWithoutRecvIsRnrFatal) {
+  std::vector<uint8_t> payload(16, 3);
+  WorkRequest wr;
+  wr.opcode = Opcode::kSend;
+  wr.local_addr = payload.data();
+  wr.length = 16;
+  ASSERT_TRUE(client_qp_->PostSend(wr).ok());
+  sim_.Run();
+  auto wc = client_cq_->Poll();
+  ASSERT_TRUE(wc.has_value());
+  EXPECT_EQ(wc->status, WcStatus::kRnrRetryExceeded);
+  EXPECT_EQ(client_qp_->state(), QueuePair::State::kError);
+}
+
+TEST_F(FailureTest, PendingWrsFlushedOnError) {
+  std::vector<uint8_t> remote(64);
+  auto mr = server_nic_
+                .RegisterMemory(remote.data(), remote.size(),
+                                kAccessRemoteWrite)
+                .value();
+  std::vector<uint8_t> local(128, 1);
+  // First WR violates bounds; the following ones must flush.
+  ASSERT_TRUE(client_qp_->PostSend(MakeWrite(mr, local.data(), 128)).ok());
+  for (int i = 0; i < 5; i++) {
+    ASSERT_TRUE(client_qp_->PostSend(MakeWrite(mr, local.data(), 8)).ok());
+  }
+  sim_.Run();
+  int errors = 0, flushed = 0;
+  while (auto wc = client_cq_->Poll()) {
+    if (wc->status == WcStatus::kRemoteAccessError) errors++;
+    if (wc->status == WcStatus::kWrFlushed) flushed++;
+  }
+  EXPECT_EQ(errors, 1);
+  EXPECT_EQ(flushed, 5);
+  EXPECT_EQ(client_qp_->outstanding_sends(), 0u);
+}
+
+TEST_F(FailureTest, DisconnectFiresErrorEventOnPeer) {
+  bool server_saw_error = false;
+  sim_.Schedule(Micros(10), [&]() { client_qp_->Disconnect(); });
+  auto watcher = [](std::shared_ptr<QueuePair> qp,
+                    bool* flag) -> sim::Co<void> {
+    co_await qp->error_event().Wait();
+    *flag = true;
+  };
+  sim::Spawn(sim_, watcher(server_qp_, &server_saw_error));
+  sim_.Run();
+  EXPECT_TRUE(server_saw_error);
+  EXPECT_EQ(server_qp_->state(), QueuePair::State::kError);
+}
+
+TEST_F(FailureTest, PostAfterErrorRejected) {
+  client_qp_->Disconnect();
+  std::vector<uint8_t> local(8);
+  WorkRequest wr;
+  wr.opcode = Opcode::kWrite;
+  wr.local_addr = local.data();
+  wr.length = 8;
+  EXPECT_TRUE(client_qp_->PostSend(wr).IsDisconnected());
+  EXPECT_TRUE(client_qp_->PostRecv(1, nullptr, 0).IsDisconnected());
+}
+
+TEST_F(FailureTest, PostedRecvsFlushedOnError) {
+  std::vector<uint8_t> buf(64);
+  for (int i = 0; i < 4; i++) {
+    ASSERT_TRUE(server_qp_->PostRecv(i, buf.data(), 64).ok());
+  }
+  server_qp_->Disconnect();
+  sim_.Run();
+  int flushed = 0;
+  while (auto wc = server_cq_->Poll()) {
+    if (wc->status == WcStatus::kWrFlushed) flushed++;
+  }
+  EXPECT_EQ(flushed, 4);
+}
+
+TEST_F(FailureTest, CqOverflowKillsAttachedQps) {
+  // A tiny CQ on the server overflows when the client floods it with
+  // WriteWithImm notifications faster than anyone polls.
+  auto small_cq = server_nic_.CreateCq(/*capacity=*/4);
+  auto flooded_qp =
+      server_nic_.CreateQp(small_cq, small_cq);
+  auto flooder_cq = client_nic_.CreateCq();
+  auto flooder_qp =
+      client_nic_.CreateQp(flooder_cq, flooder_cq);
+  KD_CHECK_OK(Connect(flooder_qp, flooded_qp));
+
+  std::vector<uint8_t> remote(64);
+  auto mr = server_nic_
+                .RegisterMemory(remote.data(), remote.size(),
+                                kAccessRemoteWrite)
+                .value();
+  for (int i = 0; i < 16; i++) {
+    ASSERT_TRUE(flooded_qp->PostRecv(i, nullptr, 0).ok());
+  }
+  std::vector<uint8_t> local(8, 1);
+  for (int i = 0; i < 16; i++) {
+    WorkRequest wr;
+    wr.opcode = Opcode::kWriteWithImm;
+    wr.local_addr = local.data();
+    wr.length = 8;
+    wr.remote_addr = mr->addr();
+    wr.rkey = mr->rkey();
+    wr.imm_data = static_cast<uint32_t>(i);
+    ASSERT_TRUE(flooder_qp->PostSend(wr).ok());
+  }
+  sim_.Run();
+  EXPECT_TRUE(small_cq->in_error());
+  EXPECT_EQ(flooded_qp->state(), QueuePair::State::kError);
+  EXPECT_EQ(flooder_qp->state(), QueuePair::State::kError);
+}
+
+TEST_F(FailureTest, ConnectRequiresInitState) {
+  auto cq = client_nic_.CreateCq();
+  auto extra = client_nic_.CreateQp(cq, cq);
+  EXPECT_FALSE(Connect(client_qp_, extra).ok());  // client_qp_ connected
+}
+
+}  // namespace
+}  // namespace rdma
+}  // namespace kafkadirect

@@ -1,0 +1,141 @@
+#include "rdma/memory_region.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/fabric.h"
+#include "rdma/rnic.h"
+
+namespace kafkadirect {
+namespace rdma {
+namespace {
+
+TEST(MemoryRegionTest, AllowsInBounds) {
+  std::vector<uint8_t> buf(1024);
+  MemoryRegion mr(1, buf.data(), buf.size(),
+                  kAccessRemoteWrite | kAccessRemoteRead);
+  uint64_t base = mr.addr();
+  EXPECT_TRUE(mr.Allows(base, 1024, kAccessRemoteWrite));
+  EXPECT_TRUE(mr.Allows(base + 100, 924, kAccessRemoteRead));
+  EXPECT_TRUE(mr.Allows(base + 1024, 0, kAccessRemoteWrite));
+}
+
+TEST(MemoryRegionTest, RejectsOutOfBounds) {
+  std::vector<uint8_t> buf(1024);
+  MemoryRegion mr(1, buf.data(), buf.size(), kAccessRemoteWrite);
+  uint64_t base = mr.addr();
+  EXPECT_FALSE(mr.Allows(base, 1025, kAccessRemoteWrite));
+  EXPECT_FALSE(mr.Allows(base + 1000, 100, kAccessRemoteWrite));
+  EXPECT_FALSE(mr.Allows(base - 1, 10, kAccessRemoteWrite));
+}
+
+TEST(MemoryRegionTest, RejectsMissingPermission) {
+  std::vector<uint8_t> buf(64);
+  MemoryRegion mr(1, buf.data(), buf.size(), kAccessRemoteRead);
+  EXPECT_TRUE(mr.Allows(mr.addr(), 8, kAccessRemoteRead));
+  EXPECT_FALSE(mr.Allows(mr.addr(), 8, kAccessRemoteWrite));
+  EXPECT_FALSE(mr.Allows(mr.addr(), 8, kAccessRemoteAtomic));
+}
+
+TEST(MemoryRegionTest, InvalidateRevokesEverything) {
+  std::vector<uint8_t> buf(64);
+  MemoryRegion mr(1, buf.data(), buf.size(),
+                  kAccessRemoteWrite | kAccessRemoteRead);
+  EXPECT_TRUE(mr.Allows(mr.addr(), 8, kAccessRemoteRead));
+  mr.Invalidate();
+  EXPECT_FALSE(mr.valid());
+  EXPECT_FALSE(mr.Allows(mr.addr(), 8, kAccessRemoteRead));
+}
+
+TEST(MemoryRegionTest, TranslateMapsAddresses) {
+  std::vector<uint8_t> buf(64);
+  MemoryRegion mr(1, buf.data(), buf.size(), kAccessRemoteRead);
+  EXPECT_EQ(mr.Translate(mr.addr()), buf.data());
+  EXPECT_EQ(mr.Translate(mr.addr() + 10), buf.data() + 10);
+}
+
+TEST(RnicMrTest, RegisterAndLookup) {
+  sim::Simulator sim;
+  CostModel cost;
+  net::Fabric fabric(sim, cost);
+  Rnic rnic(sim, fabric, fabric.AddNode("n"));
+
+  std::vector<uint8_t> buf(256);
+  auto mr_or = rnic.RegisterMemory(buf.data(), buf.size(), kAccessRemoteRead);
+  ASSERT_TRUE(mr_or.ok());
+  MemoryRegionPtr mr = mr_or.value();
+  EXPECT_EQ(rnic.LookupMr(mr->rkey()), mr.get());
+  EXPECT_EQ(rnic.LookupMr(mr->rkey() + 999), nullptr);
+}
+
+TEST(RnicMrTest, DistinctRkeys) {
+  sim::Simulator sim;
+  CostModel cost;
+  net::Fabric fabric(sim, cost);
+  Rnic rnic(sim, fabric, fabric.AddNode("n"));
+  std::vector<uint8_t> buf(256);
+  auto a = rnic.RegisterMemory(buf.data(), 128, kAccessRemoteRead);
+  auto b = rnic.RegisterMemory(buf.data() + 128, 128, kAccessRemoteRead);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(a.value()->rkey(), b.value()->rkey());
+}
+
+TEST(RnicMrTest, DeregisterInvalidates) {
+  sim::Simulator sim;
+  CostModel cost;
+  net::Fabric fabric(sim, cost);
+  Rnic rnic(sim, fabric, fabric.AddNode("n"));
+  std::vector<uint8_t> buf(256);
+  auto mr = rnic.RegisterMemory(buf.data(), buf.size(), kAccessRemoteRead)
+                .value();
+  uint32_t rkey = mr->rkey();
+  ASSERT_TRUE(rnic.DeregisterMemory(mr).ok());
+  EXPECT_FALSE(mr->valid());
+  EXPECT_EQ(rnic.LookupMr(rkey), nullptr);
+  EXPECT_TRUE(rnic.DeregisterMemory(mr).IsNotFound());
+}
+
+TEST(RnicMrTest, RejectsEmptyRegion) {
+  sim::Simulator sim;
+  CostModel cost;
+  net::Fabric fabric(sim, cost);
+  Rnic rnic(sim, fabric, fabric.AddNode("n"));
+  EXPECT_FALSE(rnic.RegisterMemory(nullptr, 10, kAccessRemoteRead).ok());
+  std::vector<uint8_t> buf(1);
+  EXPECT_FALSE(rnic.RegisterMemory(buf.data(), 0, kAccessRemoteRead).ok());
+}
+
+TEST(RnicMrTest, RegisteredBytesAccounting) {
+  sim::Simulator sim;
+  CostModel cost;
+  net::Fabric fabric(sim, cost);
+  Rnic rnic(sim, fabric, fabric.AddNode("n"));
+  EXPECT_EQ(rnic.registered_bytes(), 0u);
+  std::vector<uint8_t> a(1000), b(500);
+  auto mr_a = rnic.RegisterMemory(a.data(), a.size(), kAccessRemoteRead)
+                  .value();
+  auto mr_b = rnic.RegisterMemory(b.data(), b.size(), kAccessRemoteRead)
+                  .value();
+  EXPECT_EQ(rnic.registered_bytes(), 1500u);
+  EXPECT_EQ(rnic.peak_registered_bytes(), 1500u);
+  ASSERT_TRUE(rnic.DeregisterMemory(mr_a).ok());
+  EXPECT_EQ(rnic.registered_bytes(), 500u);
+  EXPECT_EQ(rnic.peak_registered_bytes(), 1500u);  // high-water mark holds
+  ASSERT_TRUE(rnic.DeregisterMemory(mr_b).ok());
+  EXPECT_EQ(rnic.registered_bytes(), 0u);
+}
+
+TEST(RnicMrTest, RegistrationCostScalesWithSize) {
+  sim::Simulator sim;
+  CostModel cost;
+  net::Fabric fabric(sim, cost);
+  Rnic rnic(sim, fabric, fabric.AddNode("n"));
+  EXPECT_GT(rnic.RegistrationCost(1 << 30), rnic.RegistrationCost(1 << 20));
+  EXPECT_GT(rnic.RegistrationCost(0), 0);
+}
+
+}  // namespace
+}  // namespace rdma
+}  // namespace kafkadirect

@@ -1,0 +1,140 @@
+#include "sim/channel.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/awaitable.h"
+#include "sim/task.h"
+
+namespace kafkadirect {
+namespace sim {
+namespace {
+
+Co<void> PushLater(Simulator& sim, Channel<int>& ch, int v, TimeNs after) {
+  co_await Delay(sim, after);
+  ch.Push(v);
+}
+
+Co<void> PopInto(Channel<int>& ch, std::vector<int>* out, int n) {
+  for (int i = 0; i < n; i++) {
+    auto v = co_await ch.Pop();
+    if (!v.has_value()) co_return;
+    out->push_back(*v);
+  }
+}
+
+TEST(ChannelTest, FifoOrder) {
+  Simulator sim;
+  Channel<int> ch(sim);
+  std::vector<int> out;
+  ch.Push(1);
+  ch.Push(2);
+  ch.Push(3);
+  Spawn(sim, PopInto(ch, &out, 3));
+  sim.Run();
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(ChannelTest, PopBlocksUntilPush) {
+  Simulator sim;
+  Channel<int> ch(sim);
+  std::vector<int> out;
+  Spawn(sim, PopInto(ch, &out, 1));
+  Spawn(sim, PushLater(sim, ch, 42, 500));
+  sim.Run();
+  EXPECT_EQ(out, (std::vector<int>{42}));
+  EXPECT_EQ(sim.Now(), 500);
+}
+
+TEST(ChannelTest, MultiplePoppersServedFifo) {
+  Simulator sim;
+  Channel<int> ch(sim);
+  std::vector<int> a, b;
+  Spawn(sim, PopInto(ch, &a, 1));  // blocked first
+  Spawn(sim, PopInto(ch, &b, 1));  // blocked second
+  Spawn(sim, PushLater(sim, ch, 1, 10));
+  Spawn(sim, PushLater(sim, ch, 2, 20));
+  sim.Run();
+  EXPECT_EQ(a, (std::vector<int>{1}));
+  EXPECT_EQ(b, (std::vector<int>{2}));
+}
+
+// Regression guard for the lost-wakeup hazard: a popper woken by Push must
+// get the item even if another consumer tries to pop at the same instant.
+Co<void> GreedyTryPop(Simulator& sim, Channel<int>& ch, TimeNs at,
+                      std::vector<int>* out) {
+  co_await Delay(sim, at);
+  auto v = ch.TryPop();
+  if (v.has_value()) out->push_back(*v);
+}
+
+TEST(ChannelTest, DirectHandoffCannotBeStolen) {
+  Simulator sim;
+  Channel<int> ch(sim);
+  std::vector<int> blocked_out, thief_out;
+  Spawn(sim, PopInto(ch, &blocked_out, 1));      // blocks at t=0
+  Spawn(sim, PushLater(sim, ch, 7, 100));        // wakes blocked popper
+  Spawn(sim, GreedyTryPop(sim, ch, 100, &thief_out));  // races at t=100
+  sim.Run();
+  EXPECT_EQ(blocked_out, (std::vector<int>{7}));
+  EXPECT_TRUE(thief_out.empty());
+}
+
+Co<void> PopAll(Channel<int>& ch, std::vector<int>* out, bool* closed_seen) {
+  while (true) {
+    auto v = co_await ch.Pop();
+    if (!v.has_value()) {
+      *closed_seen = true;
+      co_return;
+    }
+    out->push_back(*v);
+  }
+}
+
+TEST(ChannelTest, CloseDrainsThenSignals) {
+  Simulator sim;
+  Channel<int> ch(sim);
+  ch.Push(1);
+  ch.Push(2);
+  ch.Close();
+  std::vector<int> out;
+  bool closed = false;
+  Spawn(sim, PopAll(ch, &out, &closed));
+  sim.Run();
+  EXPECT_EQ(out, (std::vector<int>{1, 2}));
+  EXPECT_TRUE(closed);
+}
+
+TEST(ChannelTest, CloseWakesBlockedPopper) {
+  Simulator sim;
+  Channel<int> ch(sim);
+  std::vector<int> out;
+  bool closed = false;
+  Spawn(sim, PopAll(ch, &out, &closed));
+  sim.Schedule(50, [&]() { ch.Close(); });
+  sim.Run();
+  EXPECT_TRUE(out.empty());
+  EXPECT_TRUE(closed);
+}
+
+TEST(ChannelTest, TryPopNonBlocking) {
+  Simulator sim;
+  Channel<int> ch(sim);
+  EXPECT_FALSE(ch.TryPop().has_value());
+  ch.Push(5);
+  auto v = ch.TryPop();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 5);
+}
+
+TEST(ChannelTest, SizeTracksContents) {
+  Simulator sim;
+  Channel<int> ch(sim);
+  EXPECT_TRUE(ch.empty());
+  ch.Push(1);
+  ch.Push(2);
+  EXPECT_EQ(ch.size(), 2u);
+}
+
+}  // namespace
+}  // namespace sim
+}  // namespace kafkadirect

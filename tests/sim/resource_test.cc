@@ -1,0 +1,70 @@
+#include "sim/resource.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/awaitable.h"
+
+namespace kafkadirect {
+namespace sim {
+namespace {
+
+Co<void> UseAt(Simulator& sim, Resource& res, TimeNs start, TimeNs service,
+               std::vector<TimeNs>* done_times) {
+  co_await Delay(sim, start);
+  co_await res.Use(service);
+  done_times->push_back(sim.Now());
+}
+
+TEST(ResourceTest, SingleServerSerializes) {
+  Simulator sim;
+  Resource res(sim, 1);
+  std::vector<TimeNs> done;
+  for (int i = 0; i < 3; i++) Spawn(sim, UseAt(sim, res, 0, 100, &done));
+  sim.Run();
+  EXPECT_EQ(done, (std::vector<TimeNs>{100, 200, 300}));
+  EXPECT_EQ(res.busy_ns(), 300);
+}
+
+TEST(ResourceTest, MultiServerParallelism) {
+  Simulator sim;
+  Resource res(sim, 3);
+  std::vector<TimeNs> done;
+  for (int i = 0; i < 3; i++) Spawn(sim, UseAt(sim, res, 0, 100, &done));
+  sim.Run();
+  EXPECT_EQ(done, (std::vector<TimeNs>{100, 100, 100}));
+}
+
+TEST(ResourceTest, IdleServerStartsImmediately) {
+  Simulator sim;
+  Resource res(sim, 1);
+  std::vector<TimeNs> done;
+  Spawn(sim, UseAt(sim, res, 0, 50, &done));
+  Spawn(sim, UseAt(sim, res, 500, 50, &done));
+  sim.Run();
+  EXPECT_EQ(done, (std::vector<TimeNs>{50, 550}));
+}
+
+TEST(ResourceTest, UtilizationAccounting) {
+  Simulator sim;
+  Resource res(sim, 1);
+  std::vector<TimeNs> done;
+  Spawn(sim, UseAt(sim, res, 0, 400, &done));
+  sim.Run();
+  sim.RunUntil(1000);
+  EXPECT_DOUBLE_EQ(res.Utilization(), 0.4);
+}
+
+TEST(ResourceTest, QueueLengthVisible) {
+  Simulator sim;
+  Resource res(sim, 1);
+  std::vector<TimeNs> done;
+  for (int i = 0; i < 5; i++) Spawn(sim, UseAt(sim, res, 0, 100, &done));
+  sim.RunUntil(50);
+  EXPECT_EQ(res.queue_length(), 4u);
+  sim.Run();
+  EXPECT_EQ(res.queue_length(), 0u);
+}
+
+}  // namespace
+}  // namespace sim
+}  // namespace kafkadirect

@@ -1,0 +1,96 @@
+#include "sim/semaphore.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/awaitable.h"
+#include "sim/task.h"
+
+namespace kafkadirect {
+namespace sim {
+namespace {
+
+Co<void> HoldFor(Simulator& sim, Semaphore& sem, TimeNs hold,
+                 std::vector<TimeNs>* acquire_times) {
+  co_await sem.Acquire();
+  acquire_times->push_back(sim.Now());
+  co_await Delay(sim, hold);
+  sem.Release();
+}
+
+TEST(SemaphoreTest, LimitsConcurrency) {
+  Simulator sim;
+  Semaphore sem(sim, 2);
+  std::vector<TimeNs> times;
+  for (int i = 0; i < 6; i++) Spawn(sim, HoldFor(sim, sem, 100, &times));
+  sim.Run();
+  // 2 at t=0, 2 at t=100, 2 at t=200.
+  ASSERT_EQ(times.size(), 6u);
+  EXPECT_EQ(times[0], 0);
+  EXPECT_EQ(times[1], 0);
+  EXPECT_EQ(times[2], 100);
+  EXPECT_EQ(times[3], 100);
+  EXPECT_EQ(times[4], 200);
+  EXPECT_EQ(times[5], 200);
+}
+
+TEST(SemaphoreTest, TryAcquire) {
+  Simulator sim;
+  Semaphore sem(sim, 1);
+  EXPECT_TRUE(sem.TryAcquire());
+  EXPECT_FALSE(sem.TryAcquire());
+  sem.Release();
+  EXPECT_TRUE(sem.TryAcquire());
+}
+
+TEST(SemaphoreTest, ReleaseManyWakesMany) {
+  Simulator sim;
+  Semaphore sem(sim, 0);
+  std::vector<TimeNs> times;
+  for (int i = 0; i < 3; i++) Spawn(sim, HoldFor(sim, sem, 0, &times));
+  sim.Schedule(50, [&]() { sem.Release(3); });
+  sim.Run();
+  ASSERT_EQ(times.size(), 3u);
+  for (TimeNs t : times) EXPECT_EQ(t, 50);
+}
+
+TEST(SemaphoreTest, AvailableCount) {
+  Simulator sim;
+  Semaphore sem(sim, 5);
+  EXPECT_EQ(sem.available(), 5);
+  EXPECT_TRUE(sem.TryAcquire());
+  EXPECT_EQ(sem.available(), 4);
+  sem.Release(2);
+  EXPECT_EQ(sem.available(), 6);
+}
+
+Co<void> LockAppend(Simulator& sim, AsyncMutex& mu, std::vector<int>* out,
+                    int id, TimeNs hold) {
+  co_await mu.Lock();
+  out->push_back(id);
+  co_await Delay(sim, hold);
+  out->push_back(-id);
+  mu.Unlock();
+}
+
+TEST(AsyncMutexTest, MutualExclusionAndFifo) {
+  Simulator sim;
+  AsyncMutex mu(sim);
+  std::vector<int> out;
+  for (int i = 1; i <= 3; i++) Spawn(sim, LockAppend(sim, mu, &out, i, 10));
+  sim.Run();
+  // Critical sections never interleave and are FIFO.
+  EXPECT_EQ(out, (std::vector<int>{1, -1, 2, -2, 3, -3}));
+}
+
+TEST(AsyncMutexTest, TryLock) {
+  Simulator sim;
+  AsyncMutex mu(sim);
+  EXPECT_TRUE(mu.TryLock());
+  EXPECT_FALSE(mu.TryLock());
+  mu.Unlock();
+  EXPECT_TRUE(mu.TryLock());
+}
+
+}  // namespace
+}  // namespace sim
+}  // namespace kafkadirect

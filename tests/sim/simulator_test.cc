@@ -1,0 +1,101 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace kafkadirect {
+namespace sim {
+namespace {
+
+TEST(SimulatorTest, StartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.Now(), 0);
+  EXPECT_TRUE(sim.Idle());
+}
+
+TEST(SimulatorTest, EventsFireInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.Schedule(300, [&]() { order.push_back(3); });
+  sim.Schedule(100, [&]() { order.push_back(1); });
+  sim.Schedule(200, [&]() { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.Now(), 300);
+}
+
+TEST(SimulatorTest, TiesFireInScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; i++) {
+    sim.Schedule(50, [&order, i]() { order.push_back(i); });
+  }
+  sim.Run();
+  for (int i = 0; i < 10; i++) EXPECT_EQ(order[i], i);
+}
+
+TEST(SimulatorTest, NestedSchedulingAdvancesClock) {
+  Simulator sim;
+  TimeNs inner_time = -1;
+  sim.Schedule(10, [&]() {
+    sim.Schedule(5, [&]() { inner_time = sim.Now(); });
+  });
+  sim.Run();
+  EXPECT_EQ(inner_time, 15);
+}
+
+TEST(SimulatorTest, ScheduleInPastClampsToNow) {
+  Simulator sim;
+  TimeNs fired_at = -1;
+  sim.Schedule(100, [&]() {
+    sim.ScheduleAt(5, [&]() { fired_at = sim.Now(); });  // in the past
+  });
+  sim.Run();
+  EXPECT_EQ(fired_at, 100);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  int fired = 0;
+  sim.Schedule(100, [&]() { fired++; });
+  sim.Schedule(200, [&]() { fired++; });
+  sim.RunUntil(150);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.Now(), 150);
+  sim.Run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, RunForIsRelative) {
+  Simulator sim;
+  sim.RunFor(100);
+  EXPECT_EQ(sim.Now(), 100);
+  sim.RunFor(50);
+  EXPECT_EQ(sim.Now(), 150);
+}
+
+TEST(SimulatorTest, StopHaltsProcessing) {
+  Simulator sim;
+  int fired = 0;
+  sim.Schedule(10, [&]() {
+    fired++;
+    sim.Stop();
+  });
+  sim.Schedule(20, [&]() { fired++; });
+  sim.Run();
+  EXPECT_EQ(fired, 1);
+  sim.Run();  // resumes
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, CountsEvents) {
+  Simulator sim;
+  for (int i = 0; i < 5; i++) sim.Schedule(i, []() {});
+  sim.Run();
+  EXPECT_EQ(sim.events_processed(), 5u);
+}
+
+}  // namespace
+}  // namespace sim
+}  // namespace kafkadirect

@@ -1,0 +1,103 @@
+#include "sim/task.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/awaitable.h"
+
+namespace kafkadirect {
+namespace sim {
+namespace {
+
+Co<void> SetFlag(Simulator& sim, bool* flag, TimeNs after) {
+  co_await Delay(sim, after);
+  *flag = true;
+}
+
+TEST(TaskTest, SpawnedTaskRuns) {
+  Simulator sim;
+  bool flag = false;
+  Spawn(sim, SetFlag(sim, &flag, 100));
+  sim.Run();
+  EXPECT_TRUE(flag);
+  EXPECT_EQ(sim.Now(), 100);
+}
+
+TEST(TaskTest, SpawnIsLazyUntilRun) {
+  Simulator sim;
+  bool flag = false;
+  Spawn(sim, SetFlag(sim, &flag, 0));
+  EXPECT_FALSE(flag);  // nothing runs before the loop does
+  sim.Run();
+  EXPECT_TRUE(flag);
+}
+
+Co<int> Add(Simulator& sim, int a, int b) {
+  co_await Delay(sim, 10);
+  co_return a + b;
+}
+
+Co<void> AwaitValue(Simulator& sim, int* out) {
+  *out = co_await Add(sim, 2, 3);
+}
+
+TEST(TaskTest, ValueTaskReturnsResult) {
+  Simulator sim;
+  int out = 0;
+  Spawn(sim, AwaitValue(sim, &out));
+  sim.Run();
+  EXPECT_EQ(out, 5);
+  EXPECT_EQ(sim.Now(), 10);
+}
+
+Co<int> Chain(Simulator& sim, int depth) {
+  if (depth == 0) co_return 0;
+  int sub = co_await Chain(sim, depth - 1);
+  co_await Delay(sim, 1);
+  co_return sub + 1;
+}
+
+Co<void> RunChain(Simulator& sim, int* out) {
+  *out = co_await Chain(sim, 50);
+}
+
+TEST(TaskTest, DeepAwaitChain) {
+  Simulator sim;
+  int out = 0;
+  Spawn(sim, RunChain(sim, &out));
+  sim.Run();
+  EXPECT_EQ(out, 50);
+  EXPECT_EQ(sim.Now(), 50);
+}
+
+Co<void> Sleeper(Simulator& sim, std::vector<int>* order, int id,
+                 TimeNs delay) {
+  co_await Delay(sim, delay);
+  order->push_back(id);
+}
+
+TEST(TaskTest, ConcurrentTasksInterleaveByTime) {
+  Simulator sim;
+  std::vector<int> order;
+  Spawn(sim, Sleeper(sim, &order, 3, 300));
+  Spawn(sim, Sleeper(sim, &order, 1, 100));
+  Spawn(sim, Sleeper(sim, &order, 2, 200));
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(TaskTest, DeterministicAcrossRuns) {
+  auto run_once = []() {
+    Simulator sim;
+    std::vector<int> order;
+    for (int i = 0; i < 20; i++) {
+      Spawn(sim, Sleeper(sim, &order, i, (i * 37) % 7));
+    }
+    sim.Run();
+    return order;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace sim
+}  // namespace kafkadirect

@@ -1,0 +1,208 @@
+#include "tcpnet/tcp.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/units.h"
+
+namespace kafkadirect {
+namespace tcpnet {
+namespace {
+
+class TcpTest : public ::testing::Test {
+ protected:
+  TcpTest()
+      : fabric_(sim_, cost_),
+        client_node_(fabric_.AddNode("client")),
+        server_node_(fabric_.AddNode("server")),
+        net_(sim_, fabric_) {}
+
+  sim::Simulator sim_;
+  CostModel cost_;
+  net::Fabric fabric_;
+  net::NodeId client_node_, server_node_;
+  Network net_;
+};
+
+std::vector<uint8_t> Bytes(const std::string& s) {
+  return std::vector<uint8_t>(s.begin(), s.end());
+}
+
+sim::Co<void> EchoServer(std::shared_ptr<TcpListener> listener, int* served) {
+  while (true) {
+    auto conn = co_await listener->Accept();
+    if (!conn.ok()) co_return;
+    net::MessageStreamPtr stream = conn.value();
+    while (true) {
+      auto msg = co_await stream->Recv();
+      if (!msg.ok()) break;
+      (*served)++;
+      co_await stream->Send(std::move(msg).value(), false);
+    }
+  }
+}
+
+sim::Co<void> ClientSendRecv(Network& net, net::NodeId from, net::NodeId to,
+                             std::vector<std::string>* replies, int n) {
+  auto conn = co_await net.Connect(from, to, 9092);
+  KD_CHECK(conn.ok());
+  net::MessageStreamPtr stream = conn.value();
+  for (int i = 0; i < n; i++) {
+    KD_CHECK((co_await stream->Send(Bytes("ping-" + std::to_string(i)),
+                                    false))
+                 .ok());
+    auto reply = co_await stream->Recv();
+    KD_CHECK(reply.ok());
+    replies->push_back(std::string(reply.value().begin(),
+                                   reply.value().end()));
+  }
+  stream->Close();
+}
+
+TEST_F(TcpTest, EchoRoundTrip) {
+  auto listener = net_.Listen(server_node_, 9092).value();
+  int served = 0;
+  std::vector<std::string> replies;
+  sim::Spawn(sim_, EchoServer(listener, &served));
+  sim::Spawn(sim_, ClientSendRecv(net_, client_node_, server_node_,
+                                  &replies, 3));
+  sim_.Run();
+  EXPECT_EQ(served, 3);
+  ASSERT_EQ(replies.size(), 3u);
+  EXPECT_EQ(replies[0], "ping-0");
+  EXPECT_EQ(replies[2], "ping-2");
+}
+
+TEST_F(TcpTest, RoundTripLatencyIsTensOfMicros) {
+  auto listener = net_.Listen(server_node_, 9092).value();
+  int served = 0;
+  std::vector<std::string> replies;
+  sim::Spawn(sim_, EchoServer(listener, &served));
+  sim::Spawn(sim_, ClientSendRecv(net_, client_node_, server_node_,
+                                  &replies, 1));
+  sim_.Run();
+  // Kernel TCP ping-pong over IPoIB: tens of microseconds — orders of
+  // magnitude above the ~1.5 us verbs path.
+  EXPECT_GT(sim_.Now(), Micros(20));
+  EXPECT_LT(sim_.Now(), Micros(200));
+}
+
+TEST_F(TcpTest, ConnectionRefusedWithoutListener) {
+  bool refused = false;
+  auto attempt = [](Network& net, net::NodeId from, net::NodeId to,
+                    bool* flag) -> sim::Co<void> {
+    auto conn = co_await net.Connect(from, to, 1234);
+    *flag = conn.status().IsNotFound();
+  };
+  sim::Spawn(sim_, attempt(net_, client_node_, server_node_, &refused));
+  sim_.Run();
+  EXPECT_TRUE(refused);
+}
+
+TEST_F(TcpTest, PortCannotBeBoundTwice) {
+  ASSERT_TRUE(net_.Listen(server_node_, 9092).ok());
+  EXPECT_TRUE(net_.Listen(server_node_, 9092).status().code() ==
+              StatusCode::kAlreadyExists);
+  // Same port on another node is fine.
+  EXPECT_TRUE(net_.Listen(client_node_, 9092).ok());
+}
+
+sim::Co<void> RecvExpectingClose(net::MessageStreamPtr stream, bool* closed) {
+  auto msg = co_await stream->Recv();
+  *closed = msg.status().IsDisconnected();
+}
+
+TEST_F(TcpTest, CloseDisconnectsPeer) {
+  auto listener = net_.Listen(server_node_, 9092).value();
+  net::MessageStreamPtr server_stream;
+  bool closed_seen = false;
+  auto server = [](std::shared_ptr<TcpListener> l,
+                   net::MessageStreamPtr* out) -> sim::Co<void> {
+    auto conn = co_await l->Accept();
+    *out = conn.value();
+  };
+  sim::Spawn(sim_, server(listener, &server_stream));
+  net::MessageStreamPtr client_stream;
+  auto client = [](Network& net, net::NodeId from, net::NodeId to,
+                   net::MessageStreamPtr* out) -> sim::Co<void> {
+    auto conn = co_await net.Connect(from, to, 9092);
+    *out = conn.value();
+  };
+  sim::Spawn(sim_, client(net_, client_node_, server_node_, &client_stream));
+  sim_.Run();
+  ASSERT_NE(server_stream, nullptr);
+  ASSERT_NE(client_stream, nullptr);
+  sim::Spawn(sim_, RecvExpectingClose(server_stream, &closed_seen));
+  client_stream->Close();
+  sim_.Run();
+  EXPECT_TRUE(closed_seen);
+}
+
+sim::Co<void> SendMany(net::MessageStreamPtr stream, int n, uint64_t size) {
+  std::vector<uint8_t> payload(size, 0x5A);
+  for (int i = 0; i < n; i++) {
+    auto st = co_await stream->Send(payload, false);
+    if (!st.ok()) co_return;
+  }
+}
+
+sim::Co<void> RecvMany(net::MessageStreamPtr stream, int n,
+                       std::vector<size_t>* sizes) {
+  for (int i = 0; i < n; i++) {
+    auto msg = co_await stream->Recv();
+    if (!msg.ok()) co_return;
+    sizes->push_back(msg.value().size());
+  }
+}
+
+TEST_F(TcpTest, SingleStreamThroughputBelowLinkRate) {
+  auto listener = net_.Listen(server_node_, 9092).value();
+  net::MessageStreamPtr server_stream;
+  auto accept_one = [](std::shared_ptr<TcpListener> l,
+                       net::MessageStreamPtr* out) -> sim::Co<void> {
+    auto conn = co_await l->Accept();
+    *out = conn.value();
+  };
+  sim::Spawn(sim_, accept_one(listener, &server_stream));
+  net::MessageStreamPtr client_stream;
+  auto connect_one = [](Network& net, net::NodeId from, net::NodeId to,
+                        net::MessageStreamPtr* out) -> sim::Co<void> {
+    auto conn = co_await net.Connect(from, to, 9092);
+    *out = conn.value();
+  };
+  sim::Spawn(sim_,
+             connect_one(net_, client_node_, server_node_, &client_stream));
+  sim_.Run();
+
+  const int n = 200;
+  const uint64_t size = 64 * kKiB;
+  std::vector<size_t> sizes;
+  sim::TimeNs start = sim_.Now();
+  sim::Spawn(sim_, SendMany(client_stream, n, size));
+  sim::Spawn(sim_, RecvMany(server_stream, n, &sizes));
+  sim_.Run();
+  ASSERT_EQ(sizes.size(), static_cast<size_t>(n));
+  double gibps = RateGiBps(static_cast<double>(n) * size,
+                           static_cast<double>(sim_.Now() - start));
+  // Far below the 6 GiB/s verbs path; far above disk speeds.
+  EXPECT_LT(gibps, 3.5);
+  EXPECT_GT(gibps, 0.5);
+}
+
+TEST_F(TcpTest, MessagesArriveInOrder) {
+  auto listener = net_.Listen(server_node_, 9092).value();
+  int served = 0;
+  sim::Spawn(sim_, EchoServer(listener, &served));
+  std::vector<std::string> replies;
+  sim::Spawn(sim_, ClientSendRecv(net_, client_node_, server_node_,
+                                  &replies, 20));
+  sim_.Run();
+  for (int i = 0; i < 20; i++) {
+    EXPECT_EQ(replies[i], "ping-" + std::to_string(i));
+  }
+}
+
+}  // namespace
+}  // namespace tcpnet
+}  // namespace kafkadirect
