@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_fetch_size.dir/abl_fetch_size.cc.o"
+  "CMakeFiles/abl_fetch_size.dir/abl_fetch_size.cc.o.d"
+  "abl_fetch_size"
+  "abl_fetch_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_fetch_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

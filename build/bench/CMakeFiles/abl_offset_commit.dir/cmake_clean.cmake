@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_offset_commit.dir/abl_offset_commit.cc.o"
+  "CMakeFiles/abl_offset_commit.dir/abl_offset_commit.cc.o.d"
+  "abl_offset_commit"
+  "abl_offset_commit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_offset_commit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_replication_credits.dir/abl_replication_credits.cc.o"
+  "CMakeFiles/abl_replication_credits.dir/abl_replication_credits.cc.o.d"
+  "abl_replication_credits"
+  "abl_replication_credits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_replication_credits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

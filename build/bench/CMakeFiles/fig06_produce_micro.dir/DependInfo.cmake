@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig06_produce_micro.cc" "bench/CMakeFiles/fig06_produce_micro.dir/fig06_produce_micro.cc.o" "gcc" "bench/CMakeFiles/fig06_produce_micro.dir/fig06_produce_micro.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/kd_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/osu/CMakeFiles/kd_osu.dir/DependInfo.cmake"
+  "/root/repo/build/src/direct/CMakeFiles/kd_direct.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/kd_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/kafka/CMakeFiles/kd_kafka.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdma/CMakeFiles/kd_rdma.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcpnet/CMakeFiles/kd_tcpnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/kd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/kd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_notification.dir/fig07_notification.cc.o"
+  "CMakeFiles/fig07_notification.dir/fig07_notification.cc.o.d"
+  "fig07_notification"
+  "fig07_notification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_notification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_write_batching.dir/fig08_write_batching.cc.o"
+  "CMakeFiles/fig08_write_batching.dir/fig08_write_batching.cc.o.d"
+  "fig08_write_batching"
+  "fig08_write_batching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_write_batching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_produce_bandwidth.dir/fig11_produce_bandwidth.cc.o"
+  "CMakeFiles/fig11_produce_bandwidth.dir/fig11_produce_bandwidth.cc.o.d"
+  "fig11_produce_bandwidth"
+  "fig11_produce_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_produce_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

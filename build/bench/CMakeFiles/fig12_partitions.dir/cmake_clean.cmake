@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_partitions.dir/fig12_partitions.cc.o"
+  "CMakeFiles/fig12_partitions.dir/fig12_partitions.cc.o.d"
+  "fig12_partitions"
+  "fig12_partitions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_partitions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

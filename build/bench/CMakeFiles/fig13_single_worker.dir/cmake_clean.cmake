@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_single_worker.dir/fig13_single_worker.cc.o"
+  "CMakeFiles/fig13_single_worker.dir/fig13_single_worker.cc.o.d"
+  "fig13_single_worker"
+  "fig13_single_worker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_single_worker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

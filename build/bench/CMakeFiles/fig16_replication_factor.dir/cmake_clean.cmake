@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_replication_factor.dir/fig16_replication_factor.cc.o"
+  "CMakeFiles/fig16_replication_factor.dir/fig16_replication_factor.cc.o.d"
+  "fig16_replication_factor"
+  "fig16_replication_factor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_replication_factor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_replication_batching.dir/fig17_replication_batching.cc.o"
+  "CMakeFiles/fig17_replication_batching.dir/fig17_replication_batching.cc.o.d"
+  "fig17_replication_batching"
+  "fig17_replication_batching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_replication_batching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig20_consume_bandwidth.dir/fig20_consume_bandwidth.cc.o"
+  "CMakeFiles/fig20_consume_bandwidth.dir/fig20_consume_bandwidth.cc.o.d"
+  "fig20_consume_bandwidth"
+  "fig20_consume_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_consume_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig21_event_processing.dir/fig21_event_processing.cc.o"
+  "CMakeFiles/fig21_event_processing.dir/fig21_event_processing.cc.o.d"
+  "fig21_event_processing"
+  "fig21_event_processing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig21_event_processing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simcore_gbench.dir/simcore_gbench.cc.o"
+  "CMakeFiles/simcore_gbench.dir/simcore_gbench.cc.o.d"
+  "simcore_gbench"
+  "simcore_gbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simcore_gbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

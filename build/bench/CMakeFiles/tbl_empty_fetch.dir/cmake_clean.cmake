@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbl_empty_fetch.dir/tbl_empty_fetch.cc.o"
+  "CMakeFiles/tbl_empty_fetch.dir/tbl_empty_fetch.cc.o.d"
+  "tbl_empty_fetch"
+  "tbl_empty_fetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbl_empty_fetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbl_memory_usage.dir/tbl_memory_usage.cc.o"
+  "CMakeFiles/tbl_memory_usage.dir/tbl_memory_usage.cc.o.d"
+  "tbl_memory_usage"
+  "tbl_memory_usage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbl_memory_usage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iot_pipeline.dir/iot_pipeline.cpp.o"
+  "CMakeFiles/iot_pipeline.dir/iot_pipeline.cpp.o.d"
+  "iot_pipeline"
+  "iot_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iot_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/log_aggregation.dir/log_aggregation.cpp.o"
+  "CMakeFiles/log_aggregation.dir/log_aggregation.cpp.o.d"
+  "log_aggregation"
+  "log_aggregation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/log_aggregation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

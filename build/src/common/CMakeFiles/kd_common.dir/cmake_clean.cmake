@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kd_common.dir/crc32c.cc.o"
+  "CMakeFiles/kd_common.dir/crc32c.cc.o.d"
+  "CMakeFiles/kd_common.dir/histogram.cc.o"
+  "CMakeFiles/kd_common.dir/histogram.cc.o.d"
+  "CMakeFiles/kd_common.dir/logging.cc.o"
+  "CMakeFiles/kd_common.dir/logging.cc.o.d"
+  "CMakeFiles/kd_common.dir/status.cc.o"
+  "CMakeFiles/kd_common.dir/status.cc.o.d"
+  "CMakeFiles/kd_common.dir/units.cc.o"
+  "CMakeFiles/kd_common.dir/units.cc.o.d"
+  "libkd_common.a"
+  "libkd_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kd_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

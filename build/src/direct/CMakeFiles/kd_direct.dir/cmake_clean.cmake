@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kd_direct.dir/kd_broker.cc.o"
+  "CMakeFiles/kd_direct.dir/kd_broker.cc.o.d"
+  "CMakeFiles/kd_direct.dir/rdma_consumer.cc.o"
+  "CMakeFiles/kd_direct.dir/rdma_consumer.cc.o.d"
+  "CMakeFiles/kd_direct.dir/rdma_producer.cc.o"
+  "CMakeFiles/kd_direct.dir/rdma_producer.cc.o.d"
+  "libkd_direct.a"
+  "libkd_direct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kd_direct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

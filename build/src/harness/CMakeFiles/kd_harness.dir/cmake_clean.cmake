@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kd_harness.dir/harness.cc.o"
+  "CMakeFiles/kd_harness.dir/harness.cc.o.d"
+  "libkd_harness.a"
+  "libkd_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kd_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kafka/broker.cc" "src/kafka/CMakeFiles/kd_kafka.dir/broker.cc.o" "gcc" "src/kafka/CMakeFiles/kd_kafka.dir/broker.cc.o.d"
+  "/root/repo/src/kafka/cluster.cc" "src/kafka/CMakeFiles/kd_kafka.dir/cluster.cc.o" "gcc" "src/kafka/CMakeFiles/kd_kafka.dir/cluster.cc.o.d"
+  "/root/repo/src/kafka/consumer.cc" "src/kafka/CMakeFiles/kd_kafka.dir/consumer.cc.o" "gcc" "src/kafka/CMakeFiles/kd_kafka.dir/consumer.cc.o.d"
+  "/root/repo/src/kafka/log.cc" "src/kafka/CMakeFiles/kd_kafka.dir/log.cc.o" "gcc" "src/kafka/CMakeFiles/kd_kafka.dir/log.cc.o.d"
+  "/root/repo/src/kafka/producer.cc" "src/kafka/CMakeFiles/kd_kafka.dir/producer.cc.o" "gcc" "src/kafka/CMakeFiles/kd_kafka.dir/producer.cc.o.d"
+  "/root/repo/src/kafka/protocol.cc" "src/kafka/CMakeFiles/kd_kafka.dir/protocol.cc.o" "gcc" "src/kafka/CMakeFiles/kd_kafka.dir/protocol.cc.o.d"
+  "/root/repo/src/kafka/record.cc" "src/kafka/CMakeFiles/kd_kafka.dir/record.cc.o" "gcc" "src/kafka/CMakeFiles/kd_kafka.dir/record.cc.o.d"
+  "/root/repo/src/kafka/segment.cc" "src/kafka/CMakeFiles/kd_kafka.dir/segment.cc.o" "gcc" "src/kafka/CMakeFiles/kd_kafka.dir/segment.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/kd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/kd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdma/CMakeFiles/kd_rdma.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcpnet/CMakeFiles/kd_tcpnet.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

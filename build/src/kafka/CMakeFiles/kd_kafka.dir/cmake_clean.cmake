@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kd_kafka.dir/broker.cc.o"
+  "CMakeFiles/kd_kafka.dir/broker.cc.o.d"
+  "CMakeFiles/kd_kafka.dir/cluster.cc.o"
+  "CMakeFiles/kd_kafka.dir/cluster.cc.o.d"
+  "CMakeFiles/kd_kafka.dir/consumer.cc.o"
+  "CMakeFiles/kd_kafka.dir/consumer.cc.o.d"
+  "CMakeFiles/kd_kafka.dir/log.cc.o"
+  "CMakeFiles/kd_kafka.dir/log.cc.o.d"
+  "CMakeFiles/kd_kafka.dir/producer.cc.o"
+  "CMakeFiles/kd_kafka.dir/producer.cc.o.d"
+  "CMakeFiles/kd_kafka.dir/protocol.cc.o"
+  "CMakeFiles/kd_kafka.dir/protocol.cc.o.d"
+  "CMakeFiles/kd_kafka.dir/record.cc.o"
+  "CMakeFiles/kd_kafka.dir/record.cc.o.d"
+  "CMakeFiles/kd_kafka.dir/segment.cc.o"
+  "CMakeFiles/kd_kafka.dir/segment.cc.o.d"
+  "libkd_kafka.a"
+  "libkd_kafka.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kd_kafka.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kd_osu.dir/osu_transport.cc.o"
+  "CMakeFiles/kd_osu.dir/osu_transport.cc.o.d"
+  "libkd_osu.a"
+  "libkd_osu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kd_osu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rdma/queue_pair.cc" "src/rdma/CMakeFiles/kd_rdma.dir/queue_pair.cc.o" "gcc" "src/rdma/CMakeFiles/kd_rdma.dir/queue_pair.cc.o.d"
+  "/root/repo/src/rdma/rnic.cc" "src/rdma/CMakeFiles/kd_rdma.dir/rnic.cc.o" "gcc" "src/rdma/CMakeFiles/kd_rdma.dir/rnic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/kd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/kd_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kd_rdma.dir/queue_pair.cc.o"
+  "CMakeFiles/kd_rdma.dir/queue_pair.cc.o.d"
+  "CMakeFiles/kd_rdma.dir/rnic.cc.o"
+  "CMakeFiles/kd_rdma.dir/rnic.cc.o.d"
+  "libkd_rdma.a"
+  "libkd_rdma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kd_rdma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

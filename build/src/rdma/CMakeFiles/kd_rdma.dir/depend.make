@@ -1,0 +1,2 @@
+# Empty dependencies file for kd_rdma.
+# This may be replaced when dependencies are built.

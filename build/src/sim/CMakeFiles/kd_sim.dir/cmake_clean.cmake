@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kd_sim.dir/simulator.cc.o"
+  "CMakeFiles/kd_sim.dir/simulator.cc.o.d"
+  "libkd_sim.a"
+  "libkd_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kd_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kd_stream.dir/streaming.cc.o"
+  "CMakeFiles/kd_stream.dir/streaming.cc.o.d"
+  "libkd_stream.a"
+  "libkd_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kd_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

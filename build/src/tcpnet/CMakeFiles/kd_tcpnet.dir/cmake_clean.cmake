@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kd_tcpnet.dir/tcp.cc.o"
+  "CMakeFiles/kd_tcpnet.dir/tcp.cc.o.d"
+  "libkd_tcpnet.a"
+  "libkd_tcpnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kd_tcpnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for kd_tcpnet.
+# This may be replaced when dependencies are built.

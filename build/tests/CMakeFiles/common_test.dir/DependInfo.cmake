@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/byte_order_test.cc" "tests/CMakeFiles/common_test.dir/common/byte_order_test.cc.o" "gcc" "tests/CMakeFiles/common_test.dir/common/byte_order_test.cc.o.d"
+  "/root/repo/tests/common/crc32c_test.cc" "tests/CMakeFiles/common_test.dir/common/crc32c_test.cc.o" "gcc" "tests/CMakeFiles/common_test.dir/common/crc32c_test.cc.o.d"
+  "/root/repo/tests/common/histogram_test.cc" "tests/CMakeFiles/common_test.dir/common/histogram_test.cc.o" "gcc" "tests/CMakeFiles/common_test.dir/common/histogram_test.cc.o.d"
+  "/root/repo/tests/common/random_test.cc" "tests/CMakeFiles/common_test.dir/common/random_test.cc.o" "gcc" "tests/CMakeFiles/common_test.dir/common/random_test.cc.o.d"
+  "/root/repo/tests/common/slice_test.cc" "tests/CMakeFiles/common_test.dir/common/slice_test.cc.o" "gcc" "tests/CMakeFiles/common_test.dir/common/slice_test.cc.o.d"
+  "/root/repo/tests/common/status_test.cc" "tests/CMakeFiles/common_test.dir/common/status_test.cc.o" "gcc" "tests/CMakeFiles/common_test.dir/common/status_test.cc.o.d"
+  "/root/repo/tests/common/units_test.cc" "tests/CMakeFiles/common_test.dir/common/units_test.cc.o" "gcc" "tests/CMakeFiles/common_test.dir/common/units_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/kd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/kd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdma/CMakeFiles/kd_rdma.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcpnet/CMakeFiles/kd_tcpnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/kafka/CMakeFiles/kd_kafka.dir/DependInfo.cmake"
+  "/root/repo/build/src/direct/CMakeFiles/kd_direct.dir/DependInfo.cmake"
+  "/root/repo/build/src/osu/CMakeFiles/kd_osu.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/kd_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/harness/CMakeFiles/kd_harness.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/direct_test.dir/direct/commit_test.cc.o"
+  "CMakeFiles/direct_test.dir/direct/commit_test.cc.o.d"
+  "CMakeFiles/direct_test.dir/direct/consume_offsets_test.cc.o"
+  "CMakeFiles/direct_test.dir/direct/consume_offsets_test.cc.o.d"
+  "CMakeFiles/direct_test.dir/direct/consume_test.cc.o"
+  "CMakeFiles/direct_test.dir/direct/consume_test.cc.o.d"
+  "CMakeFiles/direct_test.dir/direct/control_test.cc.o"
+  "CMakeFiles/direct_test.dir/direct/control_test.cc.o.d"
+  "CMakeFiles/direct_test.dir/direct/failure_injection_test.cc.o"
+  "CMakeFiles/direct_test.dir/direct/failure_injection_test.cc.o.d"
+  "CMakeFiles/direct_test.dir/direct/notification_test.cc.o"
+  "CMakeFiles/direct_test.dir/direct/notification_test.cc.o.d"
+  "CMakeFiles/direct_test.dir/direct/produce_test.cc.o"
+  "CMakeFiles/direct_test.dir/direct/produce_test.cc.o.d"
+  "CMakeFiles/direct_test.dir/direct/replication_test.cc.o"
+  "CMakeFiles/direct_test.dir/direct/replication_test.cc.o.d"
+  "direct_test"
+  "direct_test.pdb"
+  "direct_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/direct_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

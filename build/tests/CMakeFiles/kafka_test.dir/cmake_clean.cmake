@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kafka_test.dir/kafka/broker_edge_test.cc.o"
+  "CMakeFiles/kafka_test.dir/kafka/broker_edge_test.cc.o.d"
+  "CMakeFiles/kafka_test.dir/kafka/broker_test.cc.o"
+  "CMakeFiles/kafka_test.dir/kafka/broker_test.cc.o.d"
+  "CMakeFiles/kafka_test.dir/kafka/cluster_test.cc.o"
+  "CMakeFiles/kafka_test.dir/kafka/cluster_test.cc.o.d"
+  "CMakeFiles/kafka_test.dir/kafka/log_test.cc.o"
+  "CMakeFiles/kafka_test.dir/kafka/log_test.cc.o.d"
+  "CMakeFiles/kafka_test.dir/kafka/protocol_test.cc.o"
+  "CMakeFiles/kafka_test.dir/kafka/protocol_test.cc.o.d"
+  "CMakeFiles/kafka_test.dir/kafka/record_test.cc.o"
+  "CMakeFiles/kafka_test.dir/kafka/record_test.cc.o.d"
+  "kafka_test"
+  "kafka_test.pdb"
+  "kafka_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kafka_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

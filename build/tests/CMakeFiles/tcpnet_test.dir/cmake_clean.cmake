@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcpnet_test.dir/tcpnet/tcp_test.cc.o"
+  "CMakeFiles/tcpnet_test.dir/tcpnet/tcp_test.cc.o.d"
+  "tcpnet_test"
+  "tcpnet_test.pdb"
+  "tcpnet_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcpnet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

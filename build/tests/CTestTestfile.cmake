@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/rdma_test[1]_include.cmake")
+include("/root/repo/build/tests/tcpnet_test[1]_include.cmake")
+include("/root/repo/build/tests/direct_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/osu_test[1]_include.cmake")
+include("/root/repo/build/tests/stream_test[1]_include.cmake")
+include("/root/repo/build/tests/kafka_test[1]_include.cmake")
