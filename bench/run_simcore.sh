@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Runs the host-side simulator microbenchmarks and writes the JSON report
+# to BENCH_simcore.json at the repo root. Compare against the committed
+# BENCH_simcore.baseline.json (captured before the allocation-free hot-path
+# work) to check for regressions.
+#
+# Usage: bench/run_simcore.sh [build_dir]   (default: build)
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-$ROOT/build}"
+BIN="$BUILD_DIR/bench/simcore_gbench"
+
+if [[ ! -x "$BIN" ]]; then
+  echo "error: $BIN not found; build first:" >&2
+  echo "  cmake -B \"$BUILD_DIR\" -S \"$ROOT\" && cmake --build \"$BUILD_DIR\" -j" >&2
+  exit 1
+fi
+
+"$BIN" \
+  --benchmark_out="$ROOT/BENCH_simcore.json" \
+  --benchmark_out_format=json \
+  --benchmark_repetitions=3 \
+  --benchmark_report_aggregates_only=true
+
+echo "wrote $ROOT/BENCH_simcore.json"

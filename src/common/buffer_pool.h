@@ -1,0 +1,91 @@
+// Free-list of byte vectors for the message hot paths.
+//
+// Brokers and clients exchange framed byte vectors; without pooling, every
+// produce request allocates a fresh frame on encode and frees it after
+// decode. A BufferPool recycles those vectors: Acquire() hands back a
+// previously released vector (capacity intact, size 0), so at steady state
+// the produce/response loop runs without touching the allocator.
+//
+// Ownership rules: a buffer obtained from Acquire() is owned by the caller
+// like any std::vector — it may be moved into messages, resized, or simply
+// destroyed. Release() is an optimisation, never an obligation; dropping a
+// buffer on the floor is always correct. Never Release() a buffer that is
+// still referenced (e.g. a frame whose Slice is still being parsed).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace kafkadirect {
+
+class BufferPool {
+ public:
+  /// `max_retained` bounds the free list; further releases are dropped.
+  explicit BufferPool(size_t max_retained = 64)
+      : max_retained_(max_retained) {}
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  struct Stats {
+    uint64_t hits = 0;      // Acquire() served from the free list
+    uint64_t misses = 0;    // Acquire() had to hand out a fresh vector
+    uint64_t recycled = 0;  // Release() kept the buffer
+    uint64_t dropped = 0;   // Release() discarded it (full / oversized)
+  };
+
+  /// Returns an empty vector, reusing released capacity when available.
+  std::vector<uint8_t> Acquire() {
+    if (free_.empty()) {
+      stats_.misses++;
+      return {};
+    }
+    stats_.hits++;
+    std::vector<uint8_t> buf = std::move(free_.back());
+    free_.pop_back();
+    return buf;
+  }
+
+  /// Acquire() resized to `n` bytes. Counts as a hit only if the recycled
+  /// capacity already covered `n`.
+  std::vector<uint8_t> Acquire(size_t n) {
+    if (free_.empty()) {
+      stats_.misses++;
+      return std::vector<uint8_t>(n);
+    }
+    std::vector<uint8_t> buf = std::move(free_.back());
+    free_.pop_back();
+    if (buf.capacity() >= n) {
+      stats_.hits++;
+    } else {
+      stats_.misses++;
+    }
+    buf.resize(n);
+    return buf;
+  }
+
+  /// Returns a buffer to the pool. The contents are discarded.
+  void Release(std::vector<uint8_t>&& buf) {
+    // Keep pathological one-off giants out of the free list; normal batch
+    // frames are well under this.
+    constexpr size_t kMaxRetainedCapacity = 4u << 20;
+    if (free_.size() >= max_retained_ || buf.capacity() == 0 ||
+        buf.capacity() > kMaxRetainedCapacity) {
+      stats_.dropped++;
+      return;
+    }
+    stats_.recycled++;
+    buf.clear();
+    free_.push_back(std::move(buf));
+  }
+
+  const Stats& stats() const { return stats_; }
+  size_t retained() const { return free_.size(); }
+
+ private:
+  const size_t max_retained_;
+  std::vector<std::vector<uint8_t>> free_;  // LIFO: reuse the warmest
+  Stats stats_;
+};
+
+}  // namespace kafkadirect

@@ -52,6 +52,14 @@ class BinaryWriter {
   BinaryWriter() = default;
   explicit BinaryWriter(size_t reserve) { buf_.reserve(reserve); }
 
+  /// Writes into `reuse` (cleared first), typically a pooled buffer whose
+  /// capacity survives from a previous message of similar size.
+  BinaryWriter(std::vector<uint8_t> reuse, size_t reserve)
+      : buf_(std::move(reuse)) {
+    buf_.clear();
+    buf_.reserve(reserve);
+  }
+
   void PutU8(uint8_t v) { buf_.push_back(v); }
   void PutU16(uint16_t v) {
     size_t n = buf_.size();

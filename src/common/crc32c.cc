@@ -1,6 +1,13 @@
 #include "common/crc32c.h"
 
-#include <array>
+#include "common/crc32c_internal.h"
+
+#if defined(KD_CRC32C_ARM64) && defined(__linux__)
+#include <sys/auxv.h>
+#ifndef HWCAP_CRC32
+#define HWCAP_CRC32 (1 << 7)
+#endif
+#endif
 
 namespace kafkadirect {
 namespace crc32c {
@@ -34,7 +41,7 @@ const Tables& GetTables() {
 
 }  // namespace
 
-uint32_t Extend(uint32_t crc, const uint8_t* data, size_t n) {
+uint32_t ExtendPortable(uint32_t crc, const uint8_t* data, size_t n) {
   const Tables& tb = GetTables();
   crc = ~crc;
   // Process 8 bytes at a time.
@@ -55,6 +62,113 @@ uint32_t Extend(uint32_t crc, const uint8_t* data, size_t n) {
   }
   return ~crc;
 }
+
+namespace internal {
+namespace {
+
+// "Append zero bytes" operators as 32x32 matrices over GF(2), built by
+// squaring (doubling the zero-run length) until the block length is
+// reached. Each matrix row n is the operator applied to the unit register
+// 1 << n.
+uint32_t Gf2MatrixTimes(const uint32_t* mat, uint32_t vec) {
+  uint32_t sum = 0;
+  while (vec != 0) {
+    if (vec & 1) sum ^= *mat;
+    vec >>= 1;
+    mat++;
+  }
+  return sum;
+}
+
+void Gf2MatrixSquare(uint32_t square[32], const uint32_t mat[32]) {
+  for (int n = 0; n < 32; n++) square[n] = Gf2MatrixTimes(mat, mat[n]);
+}
+
+// Computes the operator for `len` zero bytes (len must be a power of two
+// here, which keeps the squaring chain exact).
+void ZeroOperator(uint32_t op[32], size_t len) {
+  uint32_t odd[32];
+  odd[0] = 0x82F63B78u;  // reflected CRC32C polynomial: one zero bit
+  for (int n = 1; n < 32; n++) odd[n] = 1u << (n - 1);
+  uint32_t even[32];
+  Gf2MatrixSquare(even, odd);  // two zero bits
+  Gf2MatrixSquare(odd, even);  // four zero bits
+  // Square from one zero byte upward until len is consumed.
+  do {
+    Gf2MatrixSquare(even, odd);
+    len >>= 1;
+    if (len == 0) {
+      for (int n = 0; n < 32; n++) op[n] = even[n];
+      return;
+    }
+    Gf2MatrixSquare(odd, even);
+    len >>= 1;
+  } while (len != 0);
+  for (int n = 0; n < 32; n++) op[n] = odd[n];
+}
+
+void FillShiftTable(uint32_t table[4][256], size_t len) {
+  uint32_t op[32];
+  ZeroOperator(op, len);
+  for (uint32_t n = 0; n < 256; n++) {
+    table[0][n] = Gf2MatrixTimes(op, n);
+    table[1][n] = Gf2MatrixTimes(op, n << 8);
+    table[2][n] = Gf2MatrixTimes(op, n << 16);
+    table[3][n] = Gf2MatrixTimes(op, n << 24);
+  }
+}
+
+}  // namespace
+
+const ShiftTables& GetShiftTables() {
+  static const ShiftTables tables = [] {
+    ShiftTables t;
+    FillShiftTable(t.long_shift, kLongBlock);
+    FillShiftTable(t.short_shift, kShortBlock);
+    return t;
+  }();
+  return tables;
+}
+
+}  // namespace internal
+
+namespace {
+
+using ExtendFn = uint32_t (*)(uint32_t, const uint8_t*, size_t);
+
+struct Backend {
+  ExtendFn fn;
+  const char* name;
+};
+
+Backend PickBackend() {
+#if defined(KD_CRC32C_SSE42)
+  if (__builtin_cpu_supports("sse4.2")) {
+    return Backend{&internal::ExtendSse42, "sse4.2"};
+  }
+#endif
+#if defined(KD_CRC32C_ARM64) && defined(__linux__)
+  if ((getauxval(AT_HWCAP) & HWCAP_CRC32) != 0) {
+    return Backend{&internal::ExtendArm64, "armv8-crc"};
+  }
+#endif
+  return Backend{&ExtendPortable, "portable"};
+}
+
+const Backend& GetBackend() {
+  static const Backend backend = PickBackend();
+  return backend;
+}
+
+}  // namespace
+
+uint32_t Extend(uint32_t crc, const uint8_t* data, size_t n) {
+  return GetBackend().fn(crc, data, n);
+}
+
+const char* BackendName() { return GetBackend().name; }
+
+bool IsHardwareAccelerated() { return GetBackend().fn != &ExtendPortable; }
 
 }  // namespace crc32c
 }  // namespace kafkadirect

@@ -1,4 +1,11 @@
-// Software CRC32C (Castagnoli), the checksum Kafka's record batches use.
+// CRC32C (Castagnoli), the checksum Kafka's record batches use.
+//
+// Extend() dispatches once, at first use, to the fastest backend the CPU
+// offers: the SSE4.2 `crc32` instruction on x86-64 or the ARMv8 CRC32
+// extension, both running three independent streams to hide the
+// instruction's latency. The slice-by-8 software implementation remains as
+// the portable fallback and the reference the hardware backends are
+// cross-checked against in tests.
 #pragma once
 
 #include <cstddef>
@@ -11,6 +18,17 @@ namespace crc32c {
 
 /// Extends `crc` with `data`. Pass 0 as the initial crc.
 uint32_t Extend(uint32_t crc, const uint8_t* data, size_t n);
+
+/// The portable slice-by-8 implementation, always available. Exposed so
+/// tests can cross-check the hardware backends against it.
+uint32_t ExtendPortable(uint32_t crc, const uint8_t* data, size_t n);
+
+/// Name of the backend Extend() dispatches to: "sse4.2", "armv8-crc" or
+/// "portable".
+const char* BackendName();
+
+/// True if Extend() uses CPU CRC32C instructions.
+bool IsHardwareAccelerated();
 
 /// CRC32C of a byte range (initial crc 0).
 inline uint32_t Value(const uint8_t* data, size_t n) {

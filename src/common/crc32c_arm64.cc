@@ -1,0 +1,77 @@
+// ARMv8 CRC32 extension backend. Compiled with -march=armv8-a+crc; only
+// ever called after runtime HWCAP detection.
+#include "common/crc32c_internal.h"
+
+#if defined(KD_CRC32C_ARM64)
+
+#include <arm_acle.h>
+
+#include <cstring>
+
+namespace kafkadirect {
+namespace crc32c {
+namespace internal {
+namespace {
+
+inline uint64_t LoadU64(const uint8_t* p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+}  // namespace
+
+uint32_t ExtendArm64(uint32_t crc, const uint8_t* data, size_t n) {
+  uint32_t c = ~crc;
+  while (n > 0 && (reinterpret_cast<uintptr_t>(data) & 7) != 0) {
+    c = __crc32cb(c, *data++);
+    n--;
+  }
+  const ShiftTables& st = GetShiftTables();
+  // Same 3-way stream interleaving as the SSE4.2 backend: the crc32c
+  // instructions pipeline, so independent streams hide their latency.
+  while (n >= 3 * kLongBlock) {
+    uint32_t c1 = 0, c2 = 0;
+    const uint8_t* q = data + kLongBlock;
+    const uint8_t* r = data + 2 * kLongBlock;
+    for (size_t i = 0; i < kLongBlock; i += 8) {
+      c = __crc32cd(c, LoadU64(data + i));
+      c1 = __crc32cd(c1, LoadU64(q + i));
+      c2 = __crc32cd(c2, LoadU64(r + i));
+    }
+    c = Shift(st.long_shift, c) ^ c1;
+    c = Shift(st.long_shift, c) ^ c2;
+    data += 3 * kLongBlock;
+    n -= 3 * kLongBlock;
+  }
+  while (n >= 3 * kShortBlock) {
+    uint32_t c1 = 0, c2 = 0;
+    const uint8_t* q = data + kShortBlock;
+    const uint8_t* r = data + 2 * kShortBlock;
+    for (size_t i = 0; i < kShortBlock; i += 8) {
+      c = __crc32cd(c, LoadU64(data + i));
+      c1 = __crc32cd(c1, LoadU64(q + i));
+      c2 = __crc32cd(c2, LoadU64(r + i));
+    }
+    c = Shift(st.short_shift, c) ^ c1;
+    c = Shift(st.short_shift, c) ^ c2;
+    data += 3 * kShortBlock;
+    n -= 3 * kShortBlock;
+  }
+  while (n >= 8) {
+    c = __crc32cd(c, LoadU64(data));
+    data += 8;
+    n -= 8;
+  }
+  while (n > 0) {
+    c = __crc32cb(c, *data++);
+    n--;
+  }
+  return ~c;
+}
+
+}  // namespace internal
+}  // namespace crc32c
+}  // namespace kafkadirect
+
+#endif  // KD_CRC32C_ARM64

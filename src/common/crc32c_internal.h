@@ -1,0 +1,41 @@
+// Internals shared between the CRC32C dispatcher (crc32c.cc) and the
+// per-ISA hardware backends, each of which is compiled in its own source
+// file with the matching -m flags (see src/common/CMakeLists.txt).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace kafkadirect {
+namespace crc32c {
+namespace internal {
+
+// The hardware backends checksum three independent streams of block-sized
+// chunks to fill the crc32 instruction's 3-cycle latency, then merge the
+// per-stream CRCs with precomputed "append N zero bytes" operators.
+constexpr size_t kLongBlock = 8192;
+constexpr size_t kShortBlock = 256;
+
+/// Operator tables for appending kLongBlock / kShortBlock zero bytes to a
+/// raw (non-inverted) CRC register: one lookup per register byte.
+struct ShiftTables {
+  uint32_t long_shift[4][256];
+  uint32_t short_shift[4][256];
+};
+const ShiftTables& GetShiftTables();
+
+inline uint32_t Shift(const uint32_t table[4][256], uint32_t crc) {
+  return table[0][crc & 0xFF] ^ table[1][(crc >> 8) & 0xFF] ^
+         table[2][(crc >> 16) & 0xFF] ^ table[3][crc >> 24];
+}
+
+#if defined(KD_CRC32C_SSE42)
+uint32_t ExtendSse42(uint32_t crc, const uint8_t* data, size_t n);
+#endif
+#if defined(KD_CRC32C_ARM64)
+uint32_t ExtendArm64(uint32_t crc, const uint8_t* data, size_t n);
+#endif
+
+}  // namespace internal
+}  // namespace crc32c
+}  // namespace kafkadirect

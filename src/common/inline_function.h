@@ -1,0 +1,122 @@
+// Move-only callable with small-buffer optimisation, used by the simulator
+// so that scheduling an event does not allocate.
+//
+// std::function heap-allocates for captures beyond ~16 bytes on libstdc++,
+// and every simulated packet hop or timer schedules at least one such
+// callback. InlineFunction stores callables up to kInlineCapacity bytes
+// (48: enough for a peer shared_ptr plus a moved-in payload vector, or a
+// coroutine handle with a couple of captured pointers) directly in the
+// event entry; larger or throwing-move callables fall back to the heap.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace kafkadirect {
+
+class InlineFunction {
+ public:
+  static constexpr size_t kInlineCapacity = 48;
+
+  InlineFunction() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineFunction> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  InlineFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineCapacity &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+      ops_ = &kInlineOps<Fn>;
+    } else {
+      *reinterpret_cast<Fn**>(static_cast<void*>(storage_)) =
+          new Fn(std::forward<F>(f));
+      ops_ = &kHeapOps<Fn>;
+    }
+  }
+
+  InlineFunction(InlineFunction&& other) noexcept : ops_(other.ops_) {
+    if (ops_ != nullptr) {
+      ops_->relocate(storage_, other.storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      ops_ = other.ops_;
+      if (ops_ != nullptr) {
+        ops_->relocate(storage_, other.storage_);
+        other.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+
+  ~InlineFunction() { Reset(); }
+
+  void operator()() { ops_->invoke(storage_); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  /// True if the callable lives in the inline buffer (for tests).
+  bool is_inline() const { return ops_ != nullptr && ops_->inline_stored; }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    // Move-constructs *src into dst and destroys *src (inline case), or
+    // just copies the owning pointer over (heap case).
+    void (*relocate)(void* dst, void* src);
+    void (*destroy)(void*);
+    bool inline_stored;
+  };
+
+  template <typename Fn>
+  static Fn* Stored(void* storage) {
+    return std::launder(reinterpret_cast<Fn*>(storage));
+  }
+
+  template <typename Fn>
+  static constexpr Ops kInlineOps = {
+      [](void* s) { (*Stored<Fn>(s))(); },
+      [](void* dst, void* src) {
+        Fn* from = Stored<Fn>(src);
+        ::new (dst) Fn(std::move(*from));
+        from->~Fn();
+      },
+      [](void* s) { Stored<Fn>(s)->~Fn(); },
+      true,
+  };
+
+  template <typename Fn>
+  static constexpr Ops kHeapOps = {
+      [](void* s) { (**Stored<Fn*>(s))(); },
+      [](void* dst, void* src) {
+        *reinterpret_cast<Fn**>(dst) = *Stored<Fn*>(src);
+      },
+      [](void* s) { delete *Stored<Fn*>(s); },
+      false,
+  };
+
+  void Reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineCapacity];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace kafkadirect

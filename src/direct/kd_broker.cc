@@ -147,9 +147,10 @@ sim::Co<StatusOr<int64_t>> KafkaDirectBroker::CommitBatch(
       continue;
     }
     if (charge_copy) co_await Work(cost().CopyCost(batch.size()));
+    const uint32_t batch_len = static_cast<uint32_t>(batch.size());
     std::memcpy(seg->data() + pos, batch.data(), batch.size());
-    co_await CommitRdmaWrite(fs, order, static_cast<uint32_t>(batch.size()),
-                             /*qp_num=*/0);
+    buf_pool_.Release(std::move(batch));  // copied into the segment above
+    co_await CommitRdmaWrite(fs, order, batch_len, /*qp_num=*/0);
     while (!fs->aborted && !OrderCommitted(fs, order)) {
       (void)co_await fs->commit_event->WaitFor(
           config_.shared_produce_hole_timeout * 4);
@@ -179,9 +180,9 @@ void KafkaDirectBroker::PostCtrlRecvs(
   // Receives carry a small buffer so both immediate-only WriteWithImm and
   // 24-byte control Sends can land on any broker QP.
   for (int i = 0; i < n; i++) {
-    recv_buf_pool_.emplace_back(kCtrlMsgSize);
-    uint64_t wr_id = recv_buf_pool_.size() - 1;
-    KD_CHECK_OK(qp->PostRecv(wr_id, recv_buf_pool_[wr_id].data(),
+    recv_bufs_.emplace_back(kCtrlMsgSize);
+    uint64_t wr_id = recv_bufs_.size() - 1;
+    KD_CHECK_OK(qp->PostRecv(wr_id, recv_bufs_[wr_id].data(),
                              kCtrlMsgSize));
   }
 }
@@ -202,14 +203,15 @@ sim::Co<void> KafkaDirectBroker::WatchQpFailure(
 void KafkaDirectBroker::SendCtrl(uint32_t qp_num, const CtrlMsg& msg) {
   auto it = rdma_qps_.find(qp_num);
   if (it == rdma_qps_.end()) return;
-  // Retained arena: buffers must outlive the (unsignaled) send.
-  recv_buf_pool_.emplace_back(kCtrlMsgSize);
-  std::vector<uint8_t>& buf = recv_buf_pool_.back();
-  msg.EncodeTo(buf.data());
+  // IBV_SEND_INLINE: the 24-byte control message travels inside the work
+  // request, so no send buffer has to outlive the (unsignaled) send and
+  // nothing is allocated per ack.
   rdma::WorkRequest wr;
   wr.opcode = rdma::Opcode::kSend;
   wr.signaled = false;
-  wr.local_addr = buf.data();
+  wr.send_inline = true;
+  static_assert(kCtrlMsgSize <= rdma::WorkRequest::kMaxInlineData);
+  msg.EncodeTo(wr.inline_data);
   wr.length = kCtrlMsgSize;
   (void)it->second->PostSend(wr);
   rdma_acks_sent_++;
@@ -240,7 +242,7 @@ sim::Co<void> KafkaDirectBroker::RdmaPollerLoop() {
       auto qp_it = rdma_qps_.find(wc->qp_num);
       if (qp_it != rdma_qps_.end()) {
         (void)qp_it->second->PostRecv(wc->wr_id,
-                                      recv_buf_pool_[wc->wr_id].data(),
+                                      recv_bufs_[wc->wr_id].data(),
                                       kCtrlMsgSize);
       }
       Request req;
@@ -250,11 +252,11 @@ sim::Co<void> KafkaDirectBroker::RdmaPollerLoop() {
       req.qp_num = wc->qp_num;
       EnqueueRequest(std::move(req));  // step 2 in Fig. 2
     } else if (wc->opcode == rdma::Opcode::kRecv) {
-      CtrlMsg msg = CtrlMsg::DecodeFrom(recv_buf_pool_[wc->wr_id].data());
+      CtrlMsg msg = CtrlMsg::DecodeFrom(recv_bufs_[wc->wr_id].data());
       auto qp_it = rdma_qps_.find(wc->qp_num);
       if (qp_it != rdma_qps_.end()) {
         (void)qp_it->second->PostRecv(wc->wr_id,
-                                      recv_buf_pool_[wc->wr_id].data(),
+                                      recv_bufs_[wc->wr_id].data(),
                                       kCtrlMsgSize);
       }
       if (msg.kind == CtrlKind::kProduceNotify) {
@@ -797,17 +799,15 @@ sim::Co<void> KafkaDirectBroker::PushReplicatorLoop(
     // Propagate our HWM so follower consumers/failover see commits.
     if (ps->log.high_watermark() != last_hwm_sent) {
       last_hwm_sent = ps->log.high_watermark();
-      recv_buf_pool_.emplace_back(kCtrlMsgSize);
-      std::vector<uint8_t>& buf = recv_buf_pool_.back();
       CtrlMsg msg;
       msg.kind = CtrlKind::kHwmUpdate;
       msg.value = last_hwm_sent;
       msg.aux = s->file_id;
-      msg.EncodeTo(buf.data());
       rdma::WorkRequest hwm_wr;
       hwm_wr.opcode = rdma::Opcode::kSend;
       hwm_wr.signaled = false;
-      hwm_wr.local_addr = buf.data();
+      hwm_wr.send_inline = true;  // no retained buffer needed
+      msg.EncodeTo(hwm_wr.inline_data);
       hwm_wr.length = kCtrlMsgSize;
       (void)s->qp->PostSend(hwm_wr);
     }

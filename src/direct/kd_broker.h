@@ -237,7 +237,7 @@ class KafkaDirectBroker : public kafka::Broker {
   std::map<const net::MessageStream*, std::unique_ptr<ConsumerSession>>
       consumer_sessions_;
   std::map<uint32_t, std::unique_ptr<ConsumeGrant>> consume_grants_;
-  std::deque<std::vector<uint8_t>> recv_buf_pool_;
+  std::deque<std::vector<uint8_t>> recv_bufs_;
   uint64_t rdma_acks_sent_ = 0;
   /// Loopback QP pair for the broker's own FAA on shared files (§4.2.2:
   /// TCP produce to an RDMA-shared file reserves via an atomic to itself).

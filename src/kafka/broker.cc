@@ -146,20 +146,26 @@ void Broker::SendResponse(net::MessageStreamPtr conn,
 sim::Co<void> Broker::HandleProduce(Request req) {
   stats_.produce_requests++;
   ProduceRequest preq;
-  if (!Decode(Slice(req.frame), &preq).ok()) {
-    SendResponse(req.conn, Encode(ProduceResponse{
-                               ErrorCode::kInvalidRequest, -1}));
+  if (!Decode(Slice(req.frame), &preq, &buf_pool_).ok()) {
+    SendResponse(req.conn, Encode(ProduceResponse{ErrorCode::kInvalidRequest,
+                                                  -1},
+                                  buf_pool_.Acquire()));
     co_return;
   }
+  // The batch was copied out above; the request frame's capacity feeds the
+  // next batch copy or response encode.
+  buf_pool_.Release(std::move(req.frame));
   PartitionState* ps = GetPartition(preq.tp);
   if (ps == nullptr) {
-    SendResponse(req.conn, Encode(ProduceResponse{
-                               ErrorCode::kUnknownTopicOrPartition, -1}));
+    SendResponse(req.conn,
+                 Encode(ProduceResponse{ErrorCode::kUnknownTopicOrPartition,
+                                        -1},
+                        buf_pool_.Acquire()));
     co_return;
   }
   if (!ps->is_leader) {
-    SendResponse(req.conn,
-                 Encode(ProduceResponse{ErrorCode::kNotLeader, -1}));
+    SendResponse(req.conn, Encode(ProduceResponse{ErrorCode::kNotLeader, -1},
+                                  buf_pool_.Acquire()));
     co_return;
   }
   // Fixed request-processing cost: decode, sanity checks, bookkeeping.
@@ -168,16 +174,18 @@ sim::Co<void> Broker::HandleProduce(Request req) {
   co_await Work(cost().CrcCost(preq.batch.size()));
   auto view_or = RecordBatchView::Parse(Slice(preq.batch));
   if (!view_or.ok()) {
-    SendResponse(req.conn,
-                 Encode(ProduceResponse{ErrorCode::kCorruptMessage, -1}));
+    SendResponse(req.conn, Encode(ProduceResponse{ErrorCode::kCorruptMessage,
+                                                  -1},
+                                  buf_pool_.Acquire()));
     co_return;
   }
   uint32_t count = view_or.value().record_count();
   auto base_or = co_await CommitBatch(ps, std::move(preq.batch),
                                       /*charge_copy=*/true);
   if (!base_or.ok()) {
-    SendResponse(req.conn,
-                 Encode(ProduceResponse{ErrorCode::kInvalidRequest, -1}));
+    SendResponse(req.conn, Encode(ProduceResponse{ErrorCode::kInvalidRequest,
+                                                  -1},
+                                  buf_pool_.Acquire()));
     co_return;
   }
   int64_t base = base_or.value();
@@ -188,7 +196,8 @@ sim::Co<void> Broker::HandleProduce(Request req) {
     sim::Spawn(sim_, RespondWhenCommitted(req.conn, ps, required, base));
     co_return;
   }
-  SendResponse(req.conn, Encode(ProduceResponse{ErrorCode::kNone, base}));
+  SendResponse(req.conn, Encode(ProduceResponse{ErrorCode::kNone, base},
+                                buf_pool_.Acquire()));
 }
 
 sim::Co<StatusOr<int64_t>> Broker::CommitBatch(PartitionState* ps,
@@ -215,6 +224,8 @@ sim::Co<StatusOr<int64_t>> Broker::CommitBatch(PartitionState* ps,
   uint64_t len = batch.size();
   Status st = ps->log.Append(Slice(batch), count);
   ps->append_mu.Unlock();
+  // Append copied the batch into the log segment; recycle the vector.
+  buf_pool_.Release(std::move(batch));
   if (rolled) OnRolled(*ps);
   if (!st.ok()) co_return st;
   stats_.bytes_appended += len;
@@ -250,8 +261,8 @@ sim::Co<void> Broker::RespondWhenCommitted(net::MessageStreamPtr conn,
   }
   // Purgatory completion: wake + hand back to the response path.
   co_await Work(cost().cpu.wakeup_ns + cost().cpu.handoff_ns);
-  SendResponse(conn,
-               Encode(ProduceResponse{ErrorCode::kNone, base_offset}));
+  SendResponse(conn, Encode(ProduceResponse{ErrorCode::kNone, base_offset},
+                            buf_pool_.Acquire()));
 }
 
 sim::Co<void> Broker::HandleFetch(Request req) {
@@ -262,6 +273,7 @@ sim::Co<void> Broker::HandleFetch(Request req) {
                                                 0, 0, {}}));
     co_return;
   }
+  buf_pool_.Release(std::move(req.frame));
   PartitionState* ps = GetPartition(freq.tp);
   if (ps == nullptr) {
     SendResponse(req.conn,
@@ -311,7 +323,9 @@ sim::Co<void> Broker::CompleteFetch(net::MessageStreamPtr conn,
   }
   // Data leaves via the sendfile path (no broker-side copy) — the original
   // Kafka optimization the paper credits in §5.2.
-  SendResponse(conn, Encode(resp), /*zero_copy=*/true);
+  std::vector<uint8_t> frame = Encode(resp, buf_pool_.Acquire());
+  buf_pool_.Release(std::move(resp.batches));
+  SendResponse(conn, std::move(frame), /*zero_copy=*/true);
   co_return;
 }
 
@@ -424,12 +438,17 @@ sim::Co<void> Broker::ReplicaFetcherLoop(TopicPartitionId tp,
     freq.max_wait_ns = config_.replica_fetch_max_wait;
     freq.is_replica = true;
     freq.replica_id = config_.id;
-    if (!(co_await conn->Send(Encode(freq), false)).ok()) co_return;
+    if (!(co_await conn->Send(Encode(freq, buf_pool_.Acquire()), false))
+             .ok()) {
+      co_return;
+    }
     auto reply = co_await conn->Recv();
     if (!reply.ok()) co_return;
+    std::vector<uint8_t> reply_frame = std::move(reply).value();
     FetchResponse resp;
-    if (!Decode(Slice(reply.value()), &resp).ok() ||
-        resp.error != ErrorCode::kNone) {
+    Status decode_st = Decode(Slice(reply_frame), &resp, &buf_pool_);
+    buf_pool_.Release(std::move(reply_frame));
+    if (!decode_st.ok() || resp.error != ErrorCode::kNone) {
       co_await sim::Delay(sim_, 1000 * 1000);  // back off and retry
       continue;
     }
@@ -455,6 +474,7 @@ sim::Co<void> Broker::ReplicaFetcherLoop(TopicPartitionId tp,
         rest.RemovePrefix(view.total_size());
       }
     }
+    buf_pool_.Release(std::move(resp.batches));
     if (resp.high_watermark > ps->log.high_watermark()) {
       ps->log.SetHighWatermark(resp.high_watermark);
       ps->hwm_advanced.Pulse();

@@ -155,6 +155,7 @@ class Broker {
   const BrokerConfig& config() const { return config_; }
   const CostModel& cost() const { return fabric_.cost(); }
   const BrokerStats& stats() const { return stats_; }
+  const BufferPool& buffer_pool() const { return buf_pool_; }
 
   /// Mean fraction of API-worker CPU busy over [0, now].
   double WorkerUtilization() const {
@@ -240,6 +241,12 @@ class Broker {
   sim::Channel<Request> requests_;
   sim::Resource net_threads_;
   sim::TimeNs worker_busy_ns_ = 0;
+
+  /// Recycles message buffers on the produce/fetch data path. Incoming
+  /// request frames are released here once decoded; response frames and
+  /// batch copies are drawn from it, so at steady state the broker's
+  /// request loop performs no heap allocation.
+  BufferPool buf_pool_;
 
   std::map<TopicPartitionId, std::unique_ptr<PartitionState>> partitions_;
   std::map<std::string, std::vector<int32_t>> topic_metadata_;

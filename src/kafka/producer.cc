@@ -38,7 +38,7 @@ sim::Co<Status> TcpProducer::SendOne(TopicPartitionId tp, Slice key,
                                          static_cast<double>(key.size() +
                                                              value.size())));
   RecordBatchBuilder builder(/*base_offset=*/0, sim_.Now(),
-                             config_.producer_id);
+                             config_.producer_id, pool_.Acquire());
   builder.Add(key, value);
   ProduceRequest req;
   req.tp = tp;
@@ -51,7 +51,9 @@ sim::Co<Status> TcpProducer::SendOne(TopicPartitionId tp, Slice key,
   pending->done = std::make_shared<sim::Event>(sim_);
   if (config_.acks != 0) pending_.push_back(pending);
   *out = pending;
-  Status st = co_await conn_->Send(Encode(req), false);
+  std::vector<uint8_t> frame = Encode(req, pool_.Acquire());
+  pool_.Release(std::move(req.batch));  // copied into the frame above
+  Status st = co_await conn_->Send(std::move(frame), false);
   if (!st.ok()) co_return st;
   if (config_.acks == 0) {
     // Fire-and-forget: count it as done at send time.
@@ -68,12 +70,13 @@ sim::Co<void> TcpProducer::AckReader(std::shared_ptr<bool> alive,
   while (*alive) {
     auto frame = co_await conn->Recv();
     if (!*alive || !frame.ok()) co_return;
+    ProduceResponse resp;
+    Status decode_st = Decode(Slice(frame.value()), &resp);
+    pool_.Release(std::move(frame).value());
     if (pending_.empty()) continue;  // unexpected; drop
     auto pending = pending_.front();
     pending_.pop_front();
-    ProduceResponse resp;
-    if (Decode(Slice(frame.value()), &resp).ok() &&
-        resp.error == ErrorCode::kNone) {
+    if (decode_st.ok() && resp.error == ErrorCode::kNone) {
       acked_records_++;
       acked_bytes_ += pending->payload_bytes;
       // Client-observed round trip includes the future-completion wakeup.

@@ -89,6 +89,8 @@ class TcpProducer {
   net::NodeId node_;
   ProducerConfig config_;
   sim::Semaphore window_;
+  /// Recycles batch build buffers, request frames and ack frames.
+  BufferPool pool_;
   net::MessageStreamPtr conn_;
   std::deque<std::shared_ptr<Pending>> pending_;
   Histogram latencies_;

@@ -36,6 +36,17 @@ Status GetError(BinaryReader* r, ErrorCode* e) {
   return Status::OK();
 }
 
+// Copies a decoded payload view into `out`, drawing the destination from
+// the pool when one is supplied.
+void AssignBytes(Slice b, std::vector<uint8_t>* out, BufferPool* pool) {
+  if (pool != nullptr) {
+    *out = pool->Acquire(b.size());
+    std::memcpy(out->data(), b.data(), b.size());
+  } else {
+    *out = b.ToVector();
+  }
+}
+
 }  // namespace
 
 const char* ErrorCodeName(ErrorCode code) {
@@ -59,7 +70,12 @@ MsgType PeekType(Slice frame) {
 }
 
 std::vector<uint8_t> Encode(const ProduceRequest& m) {
-  BinaryWriter w(m.batch.size() + 64);
+  return Encode(m, std::vector<uint8_t>());
+}
+
+std::vector<uint8_t> Encode(const ProduceRequest& m,
+                            std::vector<uint8_t> reuse) {
+  BinaryWriter w(std::move(reuse), m.batch.size() + 64);
   PutHeader(&w, MsgType::kProduceRequest);
   PutTp(&w, m.tp);
   w.PutU16(static_cast<uint16_t>(m.acks));
@@ -68,6 +84,10 @@ std::vector<uint8_t> Encode(const ProduceRequest& m) {
 }
 
 Status Decode(Slice frame, ProduceRequest* m) {
+  return Decode(frame, m, nullptr);
+}
+
+Status Decode(Slice frame, ProduceRequest* m, BufferPool* pool) {
   BinaryReader r(frame);
   KD_RETURN_IF_ERROR(GetHeader(&r, MsgType::kProduceRequest));
   KD_RETURN_IF_ERROR(GetTp(&r, &m->tp));
@@ -76,12 +96,17 @@ Status Decode(Slice frame, ProduceRequest* m) {
   m->acks = static_cast<int16_t>(acks);
   Slice b;
   KD_RETURN_IF_ERROR(r.GetBytes(&b));
-  m->batch = b.ToVector();
+  AssignBytes(b, &m->batch, pool);
   return Status::OK();
 }
 
 std::vector<uint8_t> Encode(const ProduceResponse& m) {
-  BinaryWriter w;
+  return Encode(m, std::vector<uint8_t>());
+}
+
+std::vector<uint8_t> Encode(const ProduceResponse& m,
+                            std::vector<uint8_t> reuse) {
+  BinaryWriter w(std::move(reuse), 16);
   PutHeader(&w, MsgType::kProduceResponse);
   w.PutU16(static_cast<uint16_t>(m.error));
   w.PutI64(m.base_offset);
@@ -97,7 +122,12 @@ Status Decode(Slice frame, ProduceResponse* m) {
 }
 
 std::vector<uint8_t> Encode(const FetchRequest& m) {
-  BinaryWriter w;
+  return Encode(m, std::vector<uint8_t>());
+}
+
+std::vector<uint8_t> Encode(const FetchRequest& m,
+                            std::vector<uint8_t> reuse) {
+  BinaryWriter w(std::move(reuse), 64);
   PutHeader(&w, MsgType::kFetchRequest);
   PutTp(&w, m.tp);
   w.PutI64(m.offset);
@@ -123,7 +153,12 @@ Status Decode(Slice frame, FetchRequest* m) {
 }
 
 std::vector<uint8_t> Encode(const FetchResponse& m) {
-  BinaryWriter w(m.batches.size() + 64);
+  return Encode(m, std::vector<uint8_t>());
+}
+
+std::vector<uint8_t> Encode(const FetchResponse& m,
+                            std::vector<uint8_t> reuse) {
+  BinaryWriter w(std::move(reuse), m.batches.size() + 64);
   PutHeader(&w, MsgType::kFetchResponse);
   w.PutU16(static_cast<uint16_t>(m.error));
   w.PutI64(m.high_watermark);
@@ -133,6 +168,10 @@ std::vector<uint8_t> Encode(const FetchResponse& m) {
 }
 
 Status Decode(Slice frame, FetchResponse* m) {
+  return Decode(frame, m, nullptr);
+}
+
+Status Decode(Slice frame, FetchResponse* m, BufferPool* pool) {
   BinaryReader r(frame);
   KD_RETURN_IF_ERROR(GetHeader(&r, MsgType::kFetchResponse));
   KD_RETURN_IF_ERROR(GetError(&r, &m->error));
@@ -140,7 +179,7 @@ Status Decode(Slice frame, FetchResponse* m) {
   KD_RETURN_IF_ERROR(r.GetI64(&m->log_end_offset));
   Slice b;
   KD_RETURN_IF_ERROR(r.GetBytes(&b));
-  m->batches = b.ToVector();
+  AssignBytes(b, &m->batches, pool);
   return Status::OK();
 }
 

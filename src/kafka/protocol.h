@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "common/buffer_pool.h"
 #include "common/byte_order.h"
 #include "common/status.h"
 
@@ -270,6 +271,22 @@ Status Decode(Slice frame, RdmaCommitAccessRequest* m);
 Status Decode(Slice frame, RdmaCommitAccessResponse* m);
 Status Decode(Slice frame, FetchCommittedOffsetRequest* m);
 Status Decode(Slice frame, FetchCommittedOffsetResponse* m);
+
+// --- pooled variants for the data-path messages ---
+//
+// The `reuse` overloads encode into a recycled vector (cleared first), so
+// a pooled buffer's capacity is reused instead of reallocating per
+// message. The BufferPool overloads fill the payload field (batch /
+// batches) from the pool; pass nullptr for plain allocation.
+std::vector<uint8_t> Encode(const ProduceRequest& m,
+                            std::vector<uint8_t> reuse);
+std::vector<uint8_t> Encode(const ProduceResponse& m,
+                            std::vector<uint8_t> reuse);
+std::vector<uint8_t> Encode(const FetchRequest& m, std::vector<uint8_t> reuse);
+std::vector<uint8_t> Encode(const FetchResponse& m,
+                            std::vector<uint8_t> reuse);
+Status Decode(Slice frame, ProduceRequest* m, BufferPool* pool);
+Status Decode(Slice frame, FetchResponse* m, BufferPool* pool);
 
 }  // namespace kafka
 }  // namespace kafkadirect

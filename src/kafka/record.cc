@@ -10,6 +10,21 @@ namespace kafka {
 RecordBatchBuilder::RecordBatchBuilder(int64_t base_offset,
                                        int64_t first_timestamp,
                                        uint64_t producer_id) {
+  InitHeader(base_offset, first_timestamp, producer_id);
+}
+
+RecordBatchBuilder::RecordBatchBuilder(int64_t base_offset,
+                                       int64_t first_timestamp,
+                                       uint64_t producer_id,
+                                       std::vector<uint8_t> reuse)
+    : buf_(std::move(reuse)) {
+  buf_.clear();
+  InitHeader(base_offset, first_timestamp, producer_id);
+}
+
+void RecordBatchBuilder::InitHeader(int64_t base_offset,
+                                    int64_t first_timestamp,
+                                    uint64_t producer_id) {
   buf_.resize(kBatchHeaderSize);
   EncodeFixed64(&buf_[0], static_cast<uint64_t>(base_offset));
   EncodeFixed32(&buf_[8], 0);   // batch_length, patched in Build

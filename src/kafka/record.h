@@ -57,6 +57,11 @@ class RecordBatchBuilder {
   RecordBatchBuilder(int64_t base_offset, int64_t first_timestamp,
                      uint64_t producer_id);
 
+  /// Builds into `reuse` (cleared first), typically a pooled buffer, so a
+  /// producer's batch construction reuses capacity between requests.
+  RecordBatchBuilder(int64_t base_offset, int64_t first_timestamp,
+                     uint64_t producer_id, std::vector<uint8_t> reuse);
+
   /// Appends one record. Null key: pass a default Slice with `null_key`.
   void Add(Slice key, Slice value, uint32_t timestamp_delta = 0,
            bool null_key = false);
@@ -68,6 +73,9 @@ class RecordBatchBuilder {
   std::vector<uint8_t> Build();
 
  private:
+  void InitHeader(int64_t base_offset, int64_t first_timestamp,
+                  uint64_t producer_id);
+
   std::vector<uint8_t> buf_;
   uint32_t count_ = 0;
 };

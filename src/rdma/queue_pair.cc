@@ -18,6 +18,17 @@ uint32_t NextQpNum() {
 bool IsAtomic(Opcode op) {
   return op == Opcode::kCompSwap || op == Opcode::kFetchAdd;
 }
+
+bool CanInline(Opcode op) {
+  return op == Opcode::kSend || op == Opcode::kWrite ||
+         op == Opcode::kWriteWithImm;
+}
+
+/// Source bytes of a send/write payload: the WR's own inline copy when
+/// IBV_SEND_INLINE was used, the caller's buffer otherwise.
+const uint8_t* SendSource(const WorkRequest& wr) {
+  return wr.send_inline ? wr.inline_data : wr.local_addr;
+}
 }  // namespace
 
 const char* OpcodeName(Opcode op) {
@@ -95,8 +106,23 @@ Status QueuePair::PostSend(const WorkRequest& wr) {
       return Status::InvalidArgument("atomic target must be 8-byte aligned");
     }
   }
+  WorkRequest queued = wr;
+  if (queued.send_inline) {
+    if (!CanInline(queued.opcode)) {
+      return Status::InvalidArgument("inline only valid for sends/writes");
+    }
+    if (queued.length > WorkRequest::kMaxInlineData) {
+      return Status::InvalidArgument("inline payload too large");
+    }
+    // Capture the payload now — this is the point of IBV_SEND_INLINE: the
+    // caller's buffer is free for reuse as soon as PostSend returns.
+    if (queued.length > 0 && wr.local_addr != nullptr) {
+      std::memcpy(queued.inline_data, wr.local_addr, queued.length);
+    }
+    queued.local_addr = nullptr;
+  }
   outstanding_++;
-  send_ch_.Push(wr);
+  send_ch_.Push(std::move(queued));
   return Status::OK();
 }
 
@@ -265,7 +291,7 @@ sim::Co<void> QueuePair::Execute(Delivery d) {
         co_return;
       }
       if (wr.length > 0 && r.buf != nullptr) {
-        std::memcpy(r.buf, wr.local_addr, wr.length);
+        std::memcpy(r.buf, SendSource(wr), wr.length);
       }
       WorkCompletion rwc;
       rwc.wr_id = r.wr_id;
@@ -291,7 +317,7 @@ sim::Co<void> QueuePair::Execute(Delivery d) {
         co_return;
       }
       if (wr.length > 0) {
-        std::memcpy(mr->Translate(wr.remote_addr), wr.local_addr, wr.length);
+        std::memcpy(mr->Translate(wr.remote_addr), SendSource(wr), wr.length);
       }
       if (wr.opcode == Opcode::kWriteWithImm) {
         if (recvs_.empty()) {

@@ -43,6 +43,9 @@ enum AccessFlags : uint32_t {
 
 /// A work request posted to a QP send queue.
 struct WorkRequest {
+  /// IBV_SEND_INLINE payload limit (max_inline_data in real QP caps).
+  static constexpr uint32_t kMaxInlineData = 64;
+
   uint64_t wr_id = 0;
   Opcode opcode = Opcode::kWrite;
   bool signaled = true;  // generate a CQE on the initiator when done
@@ -51,6 +54,15 @@ struct WorkRequest {
   /// atomic results). For atomics, must be 8 bytes if non-null.
   uint8_t* local_addr = nullptr;
   uint32_t length = 0;
+
+  /// IBV_SEND_INLINE analogue: PostSend copies the payload (from
+  /// `local_addr`, or already placed in `inline_data`) into the work
+  /// request itself, so the caller's buffer is reusable the moment
+  /// PostSend returns — no signaled completion needed to reclaim it.
+  /// Valid for kSend / kWrite / kWriteWithImm with length <=
+  /// kMaxInlineData.
+  bool send_inline = false;
+  uint8_t inline_data[kMaxInlineData] = {};
 
   /// Remote target for one-sided operations.
   uint64_t remote_addr = 0;

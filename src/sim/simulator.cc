@@ -5,46 +5,62 @@
 namespace kafkadirect {
 namespace sim {
 
-void Simulator::ScheduleAt(TimeNs time, std::function<void()> fn) {
+void Simulator::ScheduleAt(TimeNs time, InlineFunction fn) {
   if (time < now_) time = now_;
-  queue_.push(Entry{time, next_seq_++, std::move(fn)});
+  const uint32_t slot = AcquireSlot(std::move(fn));
+  const uint64_t index = static_cast<uint64_t>(time - wheel_base_);
+  if (index < kWheelSize) {
+    AppendToBucket(static_cast<size_t>(index), slot);
+  } else {
+    overflow_.push_back(Entry{time, next_seq_, slot});
+    SiftUp(overflow_.size() - 1);
+  }
+  next_seq_++;
+}
+
+void Simulator::Refill() {
+  KD_DCHECK(wheel_count_ == 0 && !overflow_.empty());
+  wheel_base_ = overflow_.front().time;
+  cursor_ = 0;
+  const TimeNs end = wheel_base_ + static_cast<TimeNs>(kWheelSize);
+  while (!overflow_.empty() && overflow_.front().time < end) {
+    const Entry e = PopOverflowTop();
+    AppendToBucket(static_cast<size_t>(e.time - wheel_base_), e.slot);
+  }
 }
 
 void Simulator::Run() {
   stopped_ = false;
-  while (!queue_.empty() && !stopped_) {
-    // priority_queue::top() is const; moving the callable out requires a
-    // const_cast. Safe: the entry is popped immediately after.
-    Entry entry = std::move(const_cast<Entry&>(queue_.top()));
-    queue_.pop();
-    KD_DCHECK(entry.time >= now_);
-    now_ = entry.time;
+  while (!Idle() && !stopped_) {
+    const auto [time, slot] = PopNext();
+    KD_DCHECK(time >= now_);
+    now_ = time;
     events_processed_++;
-    entry.fn();
+    InlineFunction fn = TakeFn(slot);
+    fn();
   }
 }
 
 void Simulator::RunUntilDone(const std::function<bool()>& done,
                              TimeNs deadline) {
   stopped_ = false;
-  while (!done() && !queue_.empty() && !stopped_ &&
-         queue_.top().time <= deadline) {
-    Entry entry = std::move(const_cast<Entry&>(queue_.top()));
-    queue_.pop();
-    now_ = entry.time;
+  while (!done() && !Idle() && !stopped_ && PeekTime() <= deadline) {
+    const auto [time, slot] = PopNext();
+    now_ = time;
     events_processed_++;
-    entry.fn();
+    InlineFunction fn = TakeFn(slot);
+    fn();
   }
 }
 
 void Simulator::RunUntil(TimeNs time) {
   stopped_ = false;
-  while (!queue_.empty() && !stopped_ && queue_.top().time <= time) {
-    Entry entry = std::move(const_cast<Entry&>(queue_.top()));
-    queue_.pop();
-    now_ = entry.time;
+  while (!Idle() && !stopped_ && PeekTime() <= time) {
+    const auto [time_now, slot] = PopNext();
+    now_ = time_now;
     events_processed_++;
-    entry.fn();
+    InlineFunction fn = TakeFn(slot);
+    fn();
   }
   if (!stopped_ && now_ < time) now_ = time;
 }

@@ -4,12 +4,34 @@
 // engines) is expressed as coroutines scheduled on one Simulator instance.
 // Events at equal timestamps fire in schedule order (FIFO by sequence
 // number), which makes every run bit-reproducible.
+//
+// The hot path is allocation-free and mostly comparison-free. Callables are
+// stored in an InlineFunction (small-buffer optimised, 48 bytes inline)
+// parked in a stable slot arena. Events within the next kWheelSize
+// nanoseconds go into a timing wheel: one bucket per nanosecond, each an
+// intrusive FIFO list threaded through the slot arena, with an occupancy
+// bitmap scanned by count-trailing-zeros to find the next event in O(1).
+// Events beyond the window land in an overflow 4-ary min-heap of 24-byte
+// POD keys and are decanted into the wheel — in (time, seq) order — only
+// when the wheel is completely empty.
+//
+// Pop order equals the global (time, seq) minimum at every step: wheel
+// buckets each hold exactly one timestamp and are appended in seq order
+// (overflow refills happen before any later-scheduled push can target the
+// window), and (time, seq) is a strict total order. The pop sequence is
+// therefore exactly what the original std::priority_queue implementation
+// produced.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <cstring>
 #include <functional>
-#include <queue>
+#include <type_traits>
+#include <utility>
 #include <vector>
+
+#include "common/inline_function.h"
 
 namespace kafkadirect {
 namespace sim {
@@ -19,7 +41,12 @@ using TimeNs = int64_t;
 
 class Simulator {
  public:
-  Simulator() = default;
+  Simulator() {
+    std::memset(bucket_head_, 0xFF, sizeof(bucket_head_));  // all kNil
+    overflow_.reserve(kInitialEventCapacity);
+    slots_.reserve(kInitialEventCapacity);
+    free_slots_.reserve(kInitialEventCapacity);
+  }
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
@@ -27,12 +54,12 @@ class Simulator {
   TimeNs Now() const { return now_; }
 
   /// Runs `fn` after `delay` nanoseconds of virtual time (>= 0).
-  void Schedule(TimeNs delay, std::function<void()> fn) {
+  void Schedule(TimeNs delay, InlineFunction fn) {
     ScheduleAt(now_ + (delay < 0 ? 0 : delay), std::move(fn));
   }
 
   /// Runs `fn` at absolute virtual time `time` (clamped to now).
-  void ScheduleAt(TimeNs time, std::function<void()> fn);
+  void ScheduleAt(TimeNs time, InlineFunction fn);
 
   /// Processes events until the queue is empty or Stop() is called.
   void Run();
@@ -54,29 +81,168 @@ class Simulator {
   void Stop() { stopped_ = true; }
 
   /// True if no events are pending.
-  bool Idle() const { return queue_.empty(); }
+  bool Idle() const { return wheel_count_ == 0 && overflow_.empty(); }
 
   /// Total events processed (for tests and sanity limits).
   uint64_t events_processed() const { return events_processed_; }
 
  private:
+  // Wheel window width in nanoseconds (one bucket each). Covers the vast
+  // majority of scheduling distances (packet hops, CPU costs, zero-delay
+  // coroutine resumptions); longer timers take the overflow heap.
+  static constexpr size_t kWheelSize = 1024;
+  static constexpr size_t kBitmapWords = kWheelSize / 64;
+  static constexpr uint32_t kNil = UINT32_MAX;
+  // Enough for the steady-state event population of the largest fig*
+  // experiments, so the arena and overflow heap never regrow mid-run.
+  static constexpr size_t kInitialEventCapacity = 1024;
+
+  /// Arena cell: the parked callable plus the intrusive bucket-list link.
+  struct Slot {
+    InlineFunction fn;
+    uint32_t next = kNil;
+  };
+
+  /// Overflow heap key: trivially copyable, so sifts are plain word moves.
   struct Entry {
     TimeNs time;
     uint64_t seq;
-    std::function<void()> fn;
+    uint32_t slot;
   };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
+  static_assert(std::is_trivially_copyable_v<Entry>);
+
+  /// Strict total order: seq breaks every timestamp tie.
+  static bool Earlier(const Entry& a, const Entry& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  }
+
+  static constexpr size_t kHeapArity = 4;
+
+  uint32_t AcquireSlot(InlineFunction fn) {
+    if (free_slots_.empty()) {
+      const uint32_t slot = static_cast<uint32_t>(slots_.size());
+      slots_.push_back(Slot{std::move(fn), kNil});
+      return slot;
     }
-  };
+    const uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    slots_[slot].fn = std::move(fn);
+    slots_[slot].next = kNil;
+    return slot;
+  }
+
+  /// Moves the popped event's callable out of the arena and recycles the
+  /// slot. The returned InlineFunction must be invoked by the caller (the
+  /// arena may regrow while the event runs, so it cannot run in place).
+  InlineFunction TakeFn(uint32_t slot) {
+    InlineFunction fn = std::move(slots_[slot].fn);
+    free_slots_.push_back(slot);
+    return fn;
+  }
+
+  void AppendToBucket(size_t index, uint32_t slot) {
+    if (bucket_head_[index] == kNil) {
+      bucket_head_[index] = slot;
+      bitmap_[index >> 6] |= 1ull << (index & 63);
+    } else {
+      slots_[bucket_tail_[index]].next = slot;
+    }
+    bucket_tail_[index] = slot;
+    wheel_count_++;
+  }
+
+  /// First occupied bucket at index >= `from`. Requires wheel_count_ > 0.
+  size_t FindBucket(size_t from) const {
+    size_t w = from >> 6;
+    uint64_t word = bitmap_[w] & (~0ull << (from & 63));
+    while (word == 0) word = bitmap_[++w];
+    return (w << 6) + static_cast<size_t>(__builtin_ctzll(word));
+  }
+
+  void SiftUp(size_t i) {
+    const Entry v = overflow_[i];
+    while (i > 0) {
+      const size_t parent = (i - 1) / kHeapArity;
+      if (!Earlier(v, overflow_[parent])) break;
+      overflow_[i] = overflow_[parent];
+      i = parent;
+    }
+    overflow_[i] = v;
+  }
+
+  /// Removes and returns the overflow minimum, then re-sifts the displaced
+  /// back element down from the root.
+  Entry PopOverflowTop() {
+    const Entry top = overflow_.front();
+    const Entry v = overflow_.back();
+    overflow_.pop_back();
+    const size_t n = overflow_.size();
+    if (n != 0) {
+      size_t i = 0;
+      for (;;) {
+        const size_t first = kHeapArity * i + 1;
+        if (first >= n) break;
+        const size_t last = std::min(first + kHeapArity, n);
+        size_t m = first;
+        for (size_t c = first + 1; c < last; c++) {
+          if (Earlier(overflow_[c], overflow_[m])) m = c;
+        }
+        if (!Earlier(overflow_[m], v)) break;
+        overflow_[i] = overflow_[m];
+        i = m;
+      }
+      overflow_[i] = v;
+    }
+    return top;
+  }
+
+  /// Re-anchors the window at the overflow minimum and decants every
+  /// overflow event inside it, in (time, seq) order. Requires an empty
+  /// wheel and a non-empty overflow heap.
+  void Refill();
+
+  /// Earliest pending timestamp. Requires !Idle().
+  TimeNs PeekTime() const {
+    if (wheel_count_ != 0) {
+      return wheel_base_ + static_cast<TimeNs>(FindBucket(cursor_));
+    }
+    return overflow_.front().time;
+  }
+
+  /// Removes the earliest event; returns its (time, slot). Requires
+  /// !Idle().
+  std::pair<TimeNs, uint32_t> PopNext() {
+    if (wheel_count_ == 0) Refill();
+    const size_t i = FindBucket(cursor_);
+    cursor_ = i;
+    const uint32_t slot = bucket_head_[i];
+    const uint32_t next = slots_[slot].next;
+    bucket_head_[i] = next;
+    if (next == kNil) bitmap_[i >> 6] &= ~(1ull << (i & 63));
+    wheel_count_--;
+    return {wheel_base_ + static_cast<TimeNs>(i), slot};
+  }
 
   TimeNs now_ = 0;
   uint64_t next_seq_ = 0;
   uint64_t events_processed_ = 0;
   bool stopped_ = false;
-  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+
+  // Timing wheel over [wheel_base_, wheel_base_ + kWheelSize). Buckets are
+  // singly-linked FIFO lists through slots_; bitmap_ tracks occupancy.
+  // Invariant whenever user code runs: wheel_base_ <= now_, so new events
+  // (clamped to now_) never land below cursor_.
+  TimeNs wheel_base_ = 0;
+  size_t cursor_ = 0;
+  size_t wheel_count_ = 0;
+  uint64_t bitmap_[kBitmapWords] = {};
+  uint32_t bucket_head_[kWheelSize];
+  uint32_t bucket_tail_[kWheelSize];
+
+  std::vector<Entry> overflow_;          // 4-ary min-heap, (time, seq)
+  std::vector<Slot> slots_;              // parked callables
+  std::vector<uint32_t> free_slots_;     // LIFO: reuse the warmest slot
 };
 
 }  // namespace sim

@@ -1,0 +1,114 @@
+#include "common/inline_function.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace kafkadirect {
+namespace {
+
+TEST(InlineFunctionTest, EmptyIsFalse) {
+  InlineFunction fn;
+  EXPECT_FALSE(static_cast<bool>(fn));
+}
+
+TEST(InlineFunctionTest, InvokesLambda) {
+  int calls = 0;
+  InlineFunction fn([&calls] { calls++; });
+  ASSERT_TRUE(static_cast<bool>(fn));
+  fn();
+  fn();
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(InlineFunctionTest, SmallCapturesStayInline) {
+  int a = 0, b = 0, c = 0;
+  InlineFunction fn([&a, &b, &c] { a = b = c = 1; });  // 24 bytes
+  EXPECT_TRUE(fn.is_inline());
+  fn();
+  EXPECT_EQ(a + b + c, 3);
+}
+
+TEST(InlineFunctionTest, CapacitySizedCaptureStaysInline) {
+  // A shared_ptr (16) plus a vector (24) is the simulator's common case
+  // (tcp delivery lambda) and must fit inline.
+  auto flag = std::make_shared<int>(0);
+  std::vector<uint8_t> payload = {1, 2, 3};
+  InlineFunction fn([flag, payload = std::move(payload)]() mutable {
+    *flag = static_cast<int>(payload.size());
+  });
+  EXPECT_TRUE(fn.is_inline());
+  fn();
+  EXPECT_EQ(*flag, 3);
+}
+
+TEST(InlineFunctionTest, OversizedCapturesFallBackToHeap) {
+  struct Big {
+    uint8_t bytes[128] = {};
+  } big;
+  int out = 0;
+  InlineFunction fn([big, &out] { out = big.bytes[0] + 1; });
+  EXPECT_FALSE(fn.is_inline());
+  fn();
+  EXPECT_EQ(out, 1);
+}
+
+TEST(InlineFunctionTest, MoveTransfersOwnership) {
+  int calls = 0;
+  InlineFunction a([&calls] { calls++; });
+  InlineFunction b(std::move(a));
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  ASSERT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(calls, 1);
+
+  InlineFunction c;
+  c = std::move(b);
+  EXPECT_FALSE(static_cast<bool>(b));  // NOLINT(bugprone-use-after-move)
+  c();
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(InlineFunctionTest, MoveAssignDestroysPrevious) {
+  auto tracker = std::make_shared<int>(0);
+  EXPECT_EQ(tracker.use_count(), 1);
+  InlineFunction a([tracker] { (void)tracker; });
+  EXPECT_EQ(tracker.use_count(), 2);
+  a = InlineFunction([] {});  // old capture must be destroyed
+  EXPECT_EQ(tracker.use_count(), 1);
+}
+
+TEST(InlineFunctionTest, DestructorReleasesCapture) {
+  auto tracker = std::make_shared<int>(0);
+  {
+    InlineFunction fn([tracker] { (void)tracker; });
+    EXPECT_EQ(tracker.use_count(), 2);
+  }
+  EXPECT_EQ(tracker.use_count(), 1);
+}
+
+TEST(InlineFunctionTest, HeapFallbackMoveIsPointerSwap) {
+  struct Big {
+    uint8_t bytes[128] = {};
+  } big;
+  std::string log;
+  InlineFunction a([big, &log] { log += "ran"; (void)big; });
+  ASSERT_FALSE(a.is_inline());
+  InlineFunction b(std::move(a));
+  b();
+  EXPECT_EQ(log, "ran");
+}
+
+TEST(InlineFunctionTest, MoveOnlyCapture) {
+  auto ptr = std::make_unique<int>(7);
+  int out = 0;
+  InlineFunction fn([ptr = std::move(ptr), &out] { out = *ptr; });
+  fn();
+  EXPECT_EQ(out, 7);
+}
+
+}  // namespace
+}  // namespace kafkadirect

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Builds the common + sim test binaries under ASan/UBSan (the "asan" CMake
+# preset) and runs them. These two suites cover the allocation-free hot
+# paths — InlineFunction storage/relocation, the vector-based event heap,
+# BufferPool recycling and the SIMD CRC32C kernels — which is exactly the
+# code where a lifetime or aliasing bug would hide.
+#
+# Usage: tools/check_asan.sh
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="$ROOT/build-asan"
+
+cmake --preset asan -S "$ROOT" >/dev/null
+cmake --build "$BUILD_DIR" -j"$(nproc)" --target common_test sim_test
+
+export ASAN_OPTIONS=detect_leaks=1:strict_string_checks=1
+export UBSAN_OPTIONS=print_stacktrace=1:halt_on_error=1
+
+"$BUILD_DIR/tests/common_test"
+"$BUILD_DIR/tests/sim_test"
+
+echo "asan/ubsan: all common + sim tests passed"
