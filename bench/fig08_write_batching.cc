@@ -79,7 +79,8 @@ void Run() {
 }  // namespace bench
 }  // namespace kafkadirect
 
-int main() {
+int main(int argc, char** argv) {
+  kafkadirect::harness::InitObsFromArgs(argc, argv);
   kafkadirect::bench::Run();
   return 0;
 }

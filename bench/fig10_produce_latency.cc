@@ -10,7 +10,10 @@ namespace {
 using harness::Cell;
 using harness::SystemKind;
 
-double Point(SystemKind kind, size_t size) {
+void Row(size_t size) {
+  // One deployment per record size, running all four systems against it
+  // (each workload uses its own fresh topic). This way a --metrics_json /
+  // --trace_json run captures TCP, OSU, and RDMA datapaths in one dump.
   harness::DeploymentConfig deploy;
   deploy.broker.rdma_produce = true;
   harness::TestCluster cluster(deploy);
@@ -18,8 +21,15 @@ double Point(SystemKind kind, size_t size) {
   options.records_per_producer = 40;
   options.record_size = size;
   options.max_inflight = 1;  // round-trip latency, no pipelining
-  auto result = harness::RunProduceWorkload(cluster, kind, options);
-  return result.LatencyUsMedian();
+  auto point = [&](SystemKind kind) {
+    return harness::RunProduceWorkload(cluster, kind, options)
+        .LatencyUsMedian();
+  };
+  harness::PrintRow({FormatSize(size),
+                     Cell(point(SystemKind::kKafka)),
+                     Cell(point(SystemKind::kOsuKafka)),
+                     Cell(point(SystemKind::kKdExclusive)),
+                     Cell(point(SystemKind::kKdShared))});
 }
 
 void Run() {
@@ -27,11 +37,7 @@ void Run() {
       "Figure 10", "Produce latency (us, median), no replication",
       {"size", "Kafka", "OSU-Kafka", "KD-Excl", "KD-Shared"});
   for (size_t size : harness::PaperRecordSizes(32, 128 * kKiB)) {
-    harness::PrintRow({FormatSize(size),
-                       Cell(Point(SystemKind::kKafka, size)),
-                       Cell(Point(SystemKind::kOsuKafka, size)),
-                       Cell(Point(SystemKind::kKdExclusive, size)),
-                       Cell(Point(SystemKind::kKdShared, size))});
+    Row(size);
   }
   std::printf(
       "\nPaper: Kafka ~300 us small / rising with size; OSU ~90 us lower\n"
@@ -43,7 +49,8 @@ void Run() {
 }  // namespace bench
 }  // namespace kafkadirect
 
-int main() {
+int main(int argc, char** argv) {
+  kafkadirect::harness::InitObsFromArgs(argc, argv);
   kafkadirect::bench::Run();
   return 0;
 }

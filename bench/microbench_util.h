@@ -36,6 +36,9 @@ class MicroRig {
         server_node_(fabric_.AddNode("server")),
         server_nic_(sim_, fabric_, server_node_),
         buffer_(buffer_size) {
+    if (!harness::obs_options().trace_json.empty()) {
+      fabric_.obs().tracer.Enable();
+    }
     mr_ = server_nic_
               .RegisterMemory(buffer_.data(), buffer_.size(),
                               rdma::kAccessRemoteWrite |
@@ -84,6 +87,18 @@ class MicroRig {
       if (!wc.has_value() || !wc->ok()) co_return;
       (void)qp->PostRecv(wc->wr_id, (*recv_pool)[wc->wr_id].data(),
                          static_cast<uint32_t>((*recv_pool)[wc->wr_id].size()));
+    }
+  }
+
+  ~MicroRig() {
+    // Mirror TestCluster: dump the requested observability files so the
+    // raw-verbs microbenches honor --metrics_json / --trace_json too.
+    const harness::ObsOptions& opts = harness::obs_options();
+    if (!opts.metrics_json.empty()) {
+      (void)fabric_.obs().metrics.WriteJsonFile(opts.metrics_json);
+    }
+    if (!opts.trace_json.empty()) {
+      (void)fabric_.obs().tracer.WriteChromeTraceFile(opts.trace_json);
     }
   }
 

@@ -2,7 +2,6 @@
 
 #include <cmath>
 #include <cstdio>
-#include <numeric>
 
 namespace kafkadirect {
 
@@ -11,25 +10,6 @@ void Histogram::Sort() const {
     std::sort(samples_.begin(), samples_.end());
     sorted_ = true;
   }
-}
-
-int64_t Histogram::Min() const {
-  if (samples_.empty()) return 0;
-  Sort();
-  return samples_.front();
-}
-
-int64_t Histogram::Max() const {
-  if (samples_.empty()) return 0;
-  Sort();
-  return samples_.back();
-}
-
-double Histogram::Mean() const {
-  if (samples_.empty()) return 0.0;
-  long double sum = std::accumulate(samples_.begin(), samples_.end(),
-                                    static_cast<long double>(0));
-  return static_cast<double>(sum / samples_.size());
 }
 
 int64_t Histogram::Percentile(double p) const {

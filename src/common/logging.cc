@@ -3,6 +3,8 @@
 namespace kafkadirect {
 namespace {
 LogLevel g_level = LogLevel::kWarn;
+LogClockFn g_log_clock = nullptr;
+const void* g_log_clock_ctx = nullptr;
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -18,11 +20,27 @@ const char* LevelName(LogLevel level) {
 LogLevel GetLogLevel() { return g_level; }
 void SetLogLevel(LogLevel level) { g_level = level; }
 
+void SetLogClock(LogClockFn fn, const void* ctx) {
+  g_log_clock = fn;
+  g_log_clock_ctx = ctx;
+}
+
+void ClearLogClock(const void* ctx) {
+  if (g_log_clock_ctx == ctx) {
+    g_log_clock = nullptr;
+    g_log_clock_ctx = nullptr;
+  }
+}
+
 namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
     : level_(level) {
-  stream_ << "[" << LevelName(level) << " " << file << ":" << line << "] ";
+  stream_ << "[" << LevelName(level);
+  if (g_log_clock != nullptr) {
+    stream_ << " " << g_log_clock(g_log_clock_ctx) << "ns";
+  }
+  stream_ << " " << file << ":" << line << "] ";
 }
 
 LogMessage::~LogMessage() {

@@ -15,6 +15,15 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 LogLevel GetLogLevel();
 void SetLogLevel(LogLevel level);
 
+/// Virtual-clock hook: when set, KD_LOG lines carry the simulator's current
+/// virtual timestamp (ns) so logs line up with traces. The simulator
+/// registers itself on construction and unregisters on destruction; with
+/// nested simulators the most recently constructed one wins, and tearing
+/// one down only clears the hook it installed (ctx-matched).
+using LogClockFn = int64_t (*)(const void* ctx);
+void SetLogClock(LogClockFn fn, const void* ctx);
+void ClearLogClock(const void* ctx);
+
 namespace internal {
 
 class LogMessage {

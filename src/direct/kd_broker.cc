@@ -57,7 +57,14 @@ bool SlotMutable(const uint8_t* slot) { return slot[8] != 0; }
 KafkaDirectBroker::KafkaDirectBroker(sim::Simulator& sim, net::Fabric& fabric,
                                      tcpnet::Network& tcp,
                                      kafka::BrokerConfig config)
-    : Broker(sim, fabric, tcp, config) {}
+    : Broker(sim, fabric, tcp, config) {
+  obs::MetricsRegistry& m = fabric.obs().metrics;
+  kd_obs_.zero_copy_bytes = m.GetCounter("kd.direct.rdma_produce.zero_copy_bytes");
+  kd_obs_.notifications = m.GetCounter("kd.direct.notifications");
+  kd_obs_.ctrl_msgs = m.GetCounter("kd.direct.ctrl_msgs");
+  kd_obs_.produce_file_pos =
+      m.GetGauge("kd.direct.produce_file.commit_pos");
+}
 
 KafkaDirectBroker::~KafkaDirectBroker() = default;
 
@@ -146,7 +153,10 @@ sim::Co<StatusOr<int64_t>> KafkaDirectBroker::CommitBatch(
       }
       continue;
     }
-    if (charge_copy) co_await Work(cost().CopyCost(batch.size()));
+    if (charge_copy) {
+      co_await Work(cost().CopyCost(batch.size()));
+      obs_.produce_copied_bytes->Increment(batch.size());
+    }
     const uint32_t batch_len = static_cast<uint32_t>(batch.size());
     std::memcpy(seg->data() + pos, batch.data(), batch.size());
     buf_pool_.Release(std::move(batch));  // copied into the segment above
@@ -215,6 +225,7 @@ void KafkaDirectBroker::SendCtrl(uint32_t qp_num, const CtrlMsg& msg) {
   wr.length = kCtrlMsgSize;
   (void)it->second->PostSend(wr);
   rdma_acks_sent_++;
+  kd_obs_.ctrl_msgs->Increment();
 }
 
 // ---------------------------------------------------------------------------
@@ -576,6 +587,15 @@ sim::Co<void> KafkaDirectBroker::CommitRdmaWrite(RdmaFileState* fs,
     fs->next_commit_pos += cur_len;
     fs->next_expected_order++;
     fs->commit_event->Pulse();
+    kd_obs_.produce_file_pos->Set(fs->next_commit_pos);
+    if (!fs->replica) {
+      obs_.produce_bytes->Increment(cur_len);
+      if (cur_qp != 0) {
+        // Remote one-sided produce: the records were written straight into
+        // the TP file by the client's RNIC — the broker copied nothing.
+        kd_obs_.zero_copy_bytes->Increment(cur_len);
+      }
+    }
 
     if (fs->replica) {
       stats_.replication_writes++;
@@ -914,6 +934,7 @@ void KafkaDirectBroker::UpdateConsumeSlots(PartitionState& ps) {
     const kafka::Segment& seg = *ps.log.segments()[grant->seg_index];
     WriteSlot(session->slot(grant->slot_index),
               ReadablePosition(ps, grant->seg_index), !seg.sealed());
+    kd_obs_.notifications->Increment();
   }
 }
 

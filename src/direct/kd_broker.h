@@ -239,6 +239,16 @@ class KafkaDirectBroker : public kafka::Broker {
   std::map<uint32_t, std::unique_ptr<ConsumeGrant>> consume_grants_;
   std::deque<std::vector<uint8_t>> recv_bufs_;
   uint64_t rdma_acks_sent_ = 0;
+  /// kd.direct.* instruments: zero-copy produce byte count (the paper's
+  /// headline claim, checked by the obs invariants test), consume-slot
+  /// notification writes, inline control messages, and head-file occupancy.
+  struct KdObsHandles {
+    obs::Counter* zero_copy_bytes = nullptr;
+    obs::Counter* notifications = nullptr;
+    obs::Counter* ctrl_msgs = nullptr;
+    obs::Gauge* produce_file_pos = nullptr;
+  };
+  KdObsHandles kd_obs_;
   /// Loopback QP pair for the broker's own FAA on shared files (§4.2.2:
   /// TCP produce to an RDMA-shared file reserves via an atomic to itself).
   std::shared_ptr<rdma::QueuePair> loop_qp_, loop_peer_qp_;

@@ -7,6 +7,25 @@
 namespace kafkadirect {
 namespace harness {
 
+namespace {
+ObsOptions g_obs_options;
+}  // namespace
+
+void InitObsFromArgs(int argc, char** argv) {
+  const std::string kMetrics = "--metrics_json=";
+  const std::string kTrace = "--trace_json=";
+  for (int i = 1; i < argc; i++) {
+    std::string arg = argv[i];
+    if (arg.rfind(kMetrics, 0) == 0) {
+      g_obs_options.metrics_json = arg.substr(kMetrics.size());
+    } else if (arg.rfind(kTrace, 0) == 0) {
+      g_obs_options.trace_json = arg.substr(kTrace.size());
+    }
+  }
+}
+
+const ObsOptions& obs_options() { return g_obs_options; }
+
 const char* SystemName(SystemKind kind) {
   switch (kind) {
     case SystemKind::kKafka: return "Kafka";
@@ -19,6 +38,11 @@ const char* SystemName(SystemKind kind) {
 
 TestCluster::TestCluster(DeploymentConfig config) : config_(config) {
   fabric_ = std::make_unique<net::Fabric>(sim_, cost_);
+  // Enable tracing before any broker/client defines tracks or records
+  // spans, so a --trace_json run captures the full deployment lifecycle.
+  if (config.enable_tracing || !g_obs_options.trace_json.empty()) {
+    fabric_->obs().tracer.Enable();
+  }
   tcpnet_ = std::make_unique<tcpnet::Network>(sim_, *fabric_);
   cluster_ = std::make_unique<kafka::Cluster>(sim_, *fabric_, *tcpnet_,
                                               config.broker,
@@ -35,6 +59,18 @@ TestCluster::TestCluster(DeploymentConfig config) : config_(config) {
     auto listener = std::make_shared<osu::OsuListener>(sim_);
     osu_listeners_.push_back(listener);
     cluster_->broker(b)->ServeListener(listener);
+  }
+}
+
+TestCluster::~TestCluster() {
+  if (!g_obs_options.metrics_json.empty()) {
+    KD_CHECK(fabric_->obs().metrics.WriteJsonFile(g_obs_options.metrics_json))
+        << "cannot write " << g_obs_options.metrics_json;
+  }
+  if (!g_obs_options.trace_json.empty()) {
+    KD_CHECK(
+        fabric_->obs().tracer.WriteChromeTraceFile(g_obs_options.trace_json))
+        << "cannot write " << g_obs_options.trace_json;
   }
 }
 

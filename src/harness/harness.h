@@ -36,7 +36,24 @@ struct DeploymentConfig {
   kafka::BrokerConfig broker;
   /// Extra latitude for deterministic runs.
   uint64_t seed = 1;
+  /// Record spans even without --trace_json (used by tests; the tracer
+  /// must be enabled before brokers/QPs are created so tracks exist).
+  bool enable_tracing = false;
 };
+
+/// Observability outputs requested on the command line. When `trace_json`
+/// is set, every TestCluster constructed afterwards records spans; on
+/// cluster teardown both files are (over)written, so after a bench the
+/// files hold the last deployment's metrics/trace.
+struct ObsOptions {
+  std::string metrics_json;  // --metrics_json=<path>
+  std::string trace_json;    // --trace_json=<path>
+};
+
+/// Parses --metrics_json= / --trace_json= into the process-wide options.
+/// Unrecognized arguments are ignored (benches keep their own flags).
+void InitObsFromArgs(int argc, char** argv);
+const ObsOptions& obs_options();
 
 /// A fully wired simulated deployment: fabric + TCP stack + brokers (all
 /// KafkaDirectBroker so every datapath is available) + an OSU listener per
@@ -44,6 +61,7 @@ struct DeploymentConfig {
 class TestCluster {
  public:
   explicit TestCluster(DeploymentConfig config);
+  ~TestCluster();
 
   Status CreateTopic(const std::string& topic, int partitions, int rf) {
     return cluster_->CreateTopic(topic, partitions, rf);

@@ -17,7 +17,38 @@ Broker::Broker(sim::Simulator& sim, net::Fabric& fabric, tcpnet::Network& tcp,
       node_(fabric.AddNode("broker-" + std::to_string(config.id))),
       rnic_(sim, fabric, node_),
       requests_(sim),
-      net_threads_(sim, config.num_network_threads) {}
+      net_threads_(sim, config.num_network_threads) {
+  // Observability registration happens once here; hot paths only bump the
+  // resulting pointers (no allocation, preserving the zero-alloc loops).
+  obs::Observability& ob = fabric.obs();
+  const std::string prefix = "kd.broker." + std::to_string(config_.id) + ".";
+  obs_.queue_depth = ob.metrics.GetGauge(prefix + "request_queue.depth");
+  obs_.queue_wait_ns =
+      ob.metrics.GetHistogram(prefix + "request_queue.wait_ns");
+  obs_.produce_latency_ns =
+      ob.metrics.GetHistogram(prefix + "api.produce.latency_ns");
+  obs_.fetch_latency_ns =
+      ob.metrics.GetHistogram(prefix + "api.fetch.latency_ns");
+  obs_.hwm_updates = ob.metrics.GetCounter(prefix + "hwm.updates");
+  obs_.isr_updates = ob.metrics.GetCounter(prefix + "isr.updates");
+  obs_.produce_bytes = ob.metrics.GetCounter(prefix + "produce.bytes");
+  obs_.produce_copied_bytes =
+      ob.metrics.GetCounter(prefix + "produce.copied_bytes");
+  obs_.fetch_bytes_returned =
+      ob.metrics.GetCounter(prefix + "fetch.bytes_returned");
+  tracer_ = &ob.tracer;
+  if (tracer_->enabled()) {
+    const std::string proc = "broker-" + std::to_string(config_.id);
+    net_track_ = tracer_->DefineTrack(proc, "net");
+    queue_track_ = tracer_->DefineTrack(proc, "request-queue");
+    for (int i = 0; i < config_.num_api_workers; i++) {
+      worker_tracks_.push_back(
+          tracer_->DefineTrack(proc, "worker-" + std::to_string(i)));
+    }
+  } else {
+    worker_tracks_.assign(config_.num_api_workers, 0);
+  }
+}
 
 Status Broker::Start() {
   if (started_) return Status::FailedPrecondition("broker already started");
@@ -25,7 +56,7 @@ Status Broker::Start() {
   KD_ASSIGN_OR_RETURN(listener_, tcp_.Listen(node_, kKafkaPort));
   sim::Spawn(sim_, AcceptLoop(listener_));
   for (int i = 0; i < config_.num_api_workers; i++) {
-    sim::Spawn(sim_, ApiWorkerLoop());
+    sim::Spawn(sim_, ApiWorkerLoop(i));
   }
   return Status::OK();
 }
@@ -83,19 +114,32 @@ sim::Co<void> Broker::ConnectionReader(net::MessageStreamPtr conn) {
     }
     // A network processor thread frames the request and forwards it to the
     // shared request queue (paper step 1).
+    uint64_t span = tracer_->AsyncBegin(net_track_, "net.receive");
     co_await net_threads_.Use(cost().kafka.net_frame_ns);
     Request req;
     req.conn = conn;
     req.frame = std::move(frame).value();
-    requests_.Push(std::move(req));
+    EnqueueRequest(std::move(req));
+    tracer_->AsyncEnd(net_track_, "net.receive", span);
   }
 }
 
-sim::Co<void> Broker::ApiWorkerLoop() {
+void Broker::EnqueueRequest(Request req) {
+  req.enqueue_ns = sim_.Now();
+  req.queue_span_id = tracer_->AsyncBegin(queue_track_, "queue.wait");
+  requests_.Push(std::move(req));
+  obs_.queue_depth->Set(static_cast<int64_t>(requests_.size()));
+}
+
+sim::Co<void> Broker::ApiWorkerLoop(int worker_index) {
+  const obs::TrackId wt = worker_tracks_[worker_index];
   while (true) {
     bool idle = requests_.empty();
     auto req = co_await requests_.Pop();
     if (!req.has_value()) co_return;
+    obs_.queue_depth->Set(static_cast<int64_t>(requests_.size()));
+    obs_.queue_wait_ns->Add(sim_.Now() - req->enqueue_ns);
+    tracer_->AsyncEnd(queue_track_, "queue.wait", req->queue_span_id);
     if (idle) {
       // Blocked worker must be woken by the enqueue, and the request is
       // handed across thread pools (paper §5.1: forwarding takes 11 us and
@@ -105,45 +149,74 @@ sim::Co<void> Broker::ApiWorkerLoop() {
     } else {
       co_await Work(1000);
     }
+    // Handlers that need to open child spans (log.append) capture
+    // dispatch_track_ in their first statement, which runs synchronously
+    // on co_await; it must be re-set before every dispatch.
+    dispatch_track_ = wt;
+    const sim::TimeNs dispatched_at = sim_.Now();
     if (req->conn == nullptr) {
+      tracer_->Begin(wt, "api.rdma");
       co_await HandleExtendedRequest(std::move(*req));
+      tracer_->End(wt);
       continue;
     }
     switch (PeekType(Slice(req->frame))) {
       case MsgType::kProduceRequest:
+        tracer_->Begin(wt, "api.produce");
         co_await HandleProduce(std::move(*req));
+        obs_.produce_latency_ns->Add(sim_.Now() - dispatched_at);
+        tracer_->End(wt);
         break;
       case MsgType::kFetchRequest:
+        tracer_->Begin(wt, "api.fetch");
         co_await HandleFetch(std::move(*req));
+        obs_.fetch_latency_ns->Add(sim_.Now() - dispatched_at);
+        tracer_->End(wt);
         break;
       case MsgType::kMetadataRequest:
+        tracer_->Begin(wt, "api.metadata");
         co_await HandleMetadata(std::move(*req));
+        tracer_->End(wt);
         break;
       case MsgType::kCommitOffsetRequest:
+        tracer_->Begin(wt, "api.commit_offset");
         co_await HandleCommitOffset(std::move(*req));
+        tracer_->End(wt);
         break;
       case MsgType::kFetchCommittedOffsetRequest:
+        tracer_->Begin(wt, "api.offset_fetch");
         co_await HandleFetchCommittedOffset(std::move(*req));
+        tracer_->End(wt);
         break;
       default:
+        tracer_->Begin(wt, "api.extended");
         co_await HandleExtendedRequest(std::move(*req));
+        tracer_->End(wt);
         break;
     }
   }
 }
 
 void Broker::SendResponse(net::MessageStreamPtr conn,
-                          std::vector<uint8_t> frame, bool zero_copy) {
+                          std::vector<uint8_t> frame, bool zero_copy,
+                          const char* span_name) {
   // Responses leave through the network-thread pool, not the API worker.
   auto send = [](Broker* self, net::MessageStreamPtr c,
-                 std::vector<uint8_t> f, bool zc) -> sim::Co<void> {
+                 std::vector<uint8_t> f, bool zc,
+                 const char* name) -> sim::Co<void> {
+    uint64_t span = self->tracer_->AsyncBegin(self->net_track_, name);
     co_await self->net_threads_.Use(self->cost().kafka.net_frame_ns);
     (void)co_await c->Send(std::move(f), zc);
+    self->tracer_->AsyncEnd(self->net_track_, name, span);
   };
-  sim::Spawn(sim_, send(this, std::move(conn), std::move(frame), zero_copy));
+  sim::Spawn(sim_, send(this, std::move(conn), std::move(frame), zero_copy,
+                        span_name));
 }
 
 sim::Co<void> Broker::HandleProduce(Request req) {
+  // Runs synchronously until the first suspension, so this captures the
+  // dispatching worker's track before any other worker can overwrite it.
+  const obs::TrackId wt = dispatch_track_;
   stats_.produce_requests++;
   ProduceRequest preq;
   if (!Decode(Slice(req.frame), &preq, &buf_pool_).ok()) {
@@ -180,8 +253,10 @@ sim::Co<void> Broker::HandleProduce(Request req) {
     co_return;
   }
   uint32_t count = view_or.value().record_count();
+  tracer_->Begin(wt, "log.append");
   auto base_or = co_await CommitBatch(ps, std::move(preq.batch),
                                       /*charge_copy=*/true);
+  tracer_->End(wt);
   if (!base_or.ok()) {
     SendResponse(req.conn, Encode(ProduceResponse{ErrorCode::kInvalidRequest,
                                                   -1},
@@ -197,7 +272,8 @@ sim::Co<void> Broker::HandleProduce(Request req) {
     co_return;
   }
   SendResponse(req.conn, Encode(ProduceResponse{ErrorCode::kNone, base},
-                                buf_pool_.Acquire()));
+                                buf_pool_.Acquire()),
+               /*zero_copy=*/false, "ack.send");
 }
 
 sim::Co<StatusOr<int64_t>> Broker::CommitBatch(PartitionState* ps,
@@ -211,6 +287,7 @@ sim::Co<StatusOr<int64_t>> Broker::CommitBatch(PartitionState* ps,
   uint32_t count = DecodeFixed32(batch.data() + 20);
   if (charge_copy) {
     // The second TCP-path copy: network receive buffer -> file buffer.
+    obs_.produce_copied_bytes->Increment(batch.size());
     co_await Work(static_cast<sim::TimeNs>(
         cost().kafka.produce_copy_ns_per_byte *
         static_cast<double>(batch.size())));
@@ -229,6 +306,7 @@ sim::Co<StatusOr<int64_t>> Broker::CommitBatch(PartitionState* ps,
   if (rolled) OnRolled(*ps);
   if (!st.ok()) co_return st;
   stats_.bytes_appended += len;
+  obs_.produce_bytes->Increment(len);
   OnAppended(*ps, pos, len, base, count);
   ps->leo_advanced.Pulse();
   AdvanceHwm(ps);
@@ -243,6 +321,7 @@ void Broker::AdvanceHwm(PartitionState* ps) {
   }
   if (hwm > ps->log.high_watermark()) {
     ps->log.SetHighWatermark(hwm);
+    obs_.hwm_updates->Increment();
     ps->hwm_advanced.Pulse();
     OnHwmAdvanced(*ps);
   }
@@ -262,7 +341,8 @@ sim::Co<void> Broker::RespondWhenCommitted(net::MessageStreamPtr conn,
   // Purgatory completion: wake + hand back to the response path.
   co_await Work(cost().cpu.wakeup_ns + cost().cpu.handoff_ns);
   SendResponse(conn, Encode(ProduceResponse{ErrorCode::kNone, base_offset},
-                            buf_pool_.Acquire()));
+                            buf_pool_.Acquire()),
+               /*zero_copy=*/false, "ack.send");
 }
 
 sim::Co<void> Broker::HandleFetch(Request req) {
@@ -286,6 +366,7 @@ sim::Co<void> Broker::HandleFetch(Request req) {
     auto it = ps->follower_leo.find(freq.replica_id);
     if (it != ps->follower_leo.end() && freq.offset > it->second) {
       it->second = freq.offset;
+      obs_.isr_updates->Increment();
       AdvanceHwm(ps);
     }
   } else if (!ps->is_leader) {
@@ -321,6 +402,7 @@ sim::Co<void> Broker::CompleteFetch(net::MessageStreamPtr conn,
   if (resp.batches.empty()) {
     stats_.empty_fetch_responses++;
   }
+  obs_.fetch_bytes_returned->Increment(resp.batches.size());
   // Data leaves via the sendfile path (no broker-side copy) — the original
   // Kafka optimization the paper credits in §5.2.
   std::vector<uint8_t> frame = Encode(resp, buf_pool_.Acquire());
@@ -427,6 +509,11 @@ sim::Co<void> Broker::ReplicaFetcherLoop(TopicPartitionId tp,
                                          net::NodeId leader_node) {
   PartitionState* ps = GetPartition(tp);
   KD_CHECK(ps != nullptr && !ps->is_leader);
+  obs::TrackId rt = 0;
+  if (tracer_->enabled()) {
+    rt = tracer_->DefineTrack("broker-" + std::to_string(config_.id),
+                              "replica-fetcher");
+  }
   auto conn_or = co_await tcp_.Connect(node_, leader_node, kKafkaPort);
   if (!conn_or.ok()) co_return;
   net::MessageStreamPtr conn = conn_or.value();
@@ -456,6 +543,7 @@ sim::Co<void> Broker::ReplicaFetcherLoop(TopicPartitionId tp,
       // Append the replicated batches (offsets already assigned by the
       // leader). Followers re-verify integrity, then pay the two receive
       // copies the paper attributes to pull replication.
+      tracer_->Begin(rt, "replica.append");
       Slice rest(resp.batches);
       co_await Work(cost().kafka.replica_append_ns);
       co_await Work(cost().CrcCost(rest.size()));
@@ -473,6 +561,7 @@ sim::Co<void> Broker::ReplicaFetcherLoop(TopicPartitionId tp,
         stats_.bytes_appended += view.total_size();
         rest.RemovePrefix(view.total_size());
       }
+      tracer_->End(rt);
     }
     buf_pool_.Release(std::move(resp.batches));
     if (resp.high_watermark > ps->log.high_watermark()) {

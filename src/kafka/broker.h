@@ -27,6 +27,7 @@
 #include "kafka/log.h"
 #include "kafka/protocol.h"
 #include "net/message_stream.h"
+#include "obs/observability.h"
 #include "rdma/rnic.h"
 #include "sim/awaitable.h"
 #include "sim/channel.h"
@@ -112,6 +113,8 @@ class Broker {
     uint16_t order = 0;
     uint32_t byte_len = 0;
     uint32_t qp_num = 0;  // QP the RDMA request arrived on (for acks)
+    sim::TimeNs enqueue_ns = 0;   // when it entered the request queue
+    uint64_t queue_span_id = 0;   // open "queue.wait" trace span
   };
 
   Broker(sim::Simulator& sim, net::Fabric& fabric, tcpnet::Network& tcp,
@@ -196,17 +199,20 @@ class Broker {
   void AdvanceHwm(PartitionState* ps);
 
   /// Queues a response through the network-thread pool. `zero_copy` marks
-  /// sendfile-style data responses (fetch data from mapped files).
+  /// sendfile-style data responses (fetch data from mapped files);
+  /// `span_name` labels the send span in traces (string literal).
   void SendResponse(net::MessageStreamPtr conn, std::vector<uint8_t> frame,
-                    bool zero_copy = false);
+                    bool zero_copy = false,
+                    const char* span_name = "net.send");
 
   /// Charges `ns` of API-worker CPU time (tracked for utilization stats).
   sim::Co<void> Work(sim::TimeNs ns);
 
   /// Enqueues into the shared request queue (used by RDMA modules, step 2).
-  void EnqueueRequest(Request req) { requests_.Push(std::move(req)); }
+  /// Samples queue depth and opens the request's "queue.wait" span.
+  void EnqueueRequest(Request req);
 
-  sim::Co<void> ApiWorkerLoop();
+  sim::Co<void> ApiWorkerLoop(int worker_index);
   sim::Co<void> AcceptLoop(std::shared_ptr<net::StreamListener> listener);
   sim::Co<void> ConnectionReader(net::MessageStreamPtr conn);
 
@@ -253,6 +259,29 @@ class Broker {
   std::shared_ptr<tcpnet::TcpListener> listener_;
   BrokerStats stats_;
   bool started_ = false;
+
+  /// kd.broker.<id>.* instruments; registered once in the constructor,
+  /// bumped allocation-free on hot paths.
+  struct ObsHandles {
+    obs::Gauge* queue_depth = nullptr;
+    obs::LogLinearHistogram* queue_wait_ns = nullptr;
+    obs::LogLinearHistogram* produce_latency_ns = nullptr;
+    obs::LogLinearHistogram* fetch_latency_ns = nullptr;
+    obs::Counter* hwm_updates = nullptr;
+    obs::Counter* isr_updates = nullptr;
+    obs::Counter* produce_bytes = nullptr;
+    obs::Counter* produce_copied_bytes = nullptr;
+    obs::Counter* fetch_bytes_returned = nullptr;
+  };
+  ObsHandles obs_;
+  obs::SpanTracer* tracer_;
+  obs::TrackId net_track_ = 0;     // network processors ("net")
+  obs::TrackId queue_track_ = 0;   // request queue waits
+  std::vector<obs::TrackId> worker_tracks_;  // one per API worker
+  /// Track of the worker currently dispatching; set by ApiWorkerLoop right
+  /// before each handler co_await and captured by the handler's first
+  /// statement (coroutine bodies start synchronously on await).
+  obs::TrackId dispatch_track_ = 0;
 };
 
 }  // namespace kafka

@@ -16,6 +16,7 @@
 
 #include "common/logging.h"
 #include "net/cost_model.h"
+#include "obs/observability.h"
 #include "sim/simulator.h"
 
 namespace kafkadirect {
@@ -26,7 +27,7 @@ using NodeId = uint32_t;
 class Fabric {
  public:
   Fabric(sim::Simulator& sim, const CostModel& cost)
-      : sim_(sim), cost_(cost) {}
+      : sim_(sim), cost_(cost), obs_(sim) {}
 
   /// Registers a machine on the fabric.
   NodeId AddNode(std::string name) {
@@ -85,6 +86,8 @@ class Fabric {
   uint64_t bytes_sent(NodeId id) const { return nodes_[id].bytes_sent; }
   const CostModel& cost() const { return cost_; }
   sim::Simulator& simulator() { return sim_; }
+  /// Shared metrics/tracing sink for everything attached to this fabric.
+  obs::Observability& obs() { return obs_; }
 
  private:
   struct Node {
@@ -96,6 +99,7 @@ class Fabric {
 
   sim::Simulator& sim_;
   const CostModel& cost_;
+  obs::Observability obs_;
   std::vector<Node> nodes_;
 };
 

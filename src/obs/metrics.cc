@@ -1,0 +1,146 @@
+#include "obs/metrics.h"
+
+#include <bit>
+#include <cmath>
+#include <fstream>
+
+namespace kafkadirect {
+namespace obs {
+
+void LogLinearHistogram::Add(int64_t v) {
+  if (v < 0) v = 0;
+  buckets_[BucketIndex(v)]++;
+  if (count_ == 0 || v < min_) min_ = v;
+  if (count_ == 0 || v > max_) max_ = v;
+  sum_ += v;
+  count_++;
+}
+
+int LogLinearHistogram::BucketIndex(int64_t v) {
+  uint64_t u = static_cast<uint64_t>(v);
+  if (u < kSubBuckets) return static_cast<int>(u);
+  int top = 63 - std::countl_zero(u);  // index of the highest set bit
+  int octave = top - kSubBucketBits;
+  int sub = static_cast<int>(u >> (top - kSubBucketBits)) - kSubBuckets;
+  return kSubBuckets + octave * kSubBuckets + sub;
+}
+
+int64_t LogLinearHistogram::BucketLowerBound(int index) {
+  if (index < kSubBuckets) return index;
+  int octave = (index - kSubBuckets) / kSubBuckets;
+  int sub = (index - kSubBuckets) % kSubBuckets;
+  return static_cast<int64_t>(kSubBuckets + sub) << octave;
+}
+
+int64_t LogLinearHistogram::BucketUpperBound(int index) {
+  if (index < kSubBuckets) return index;
+  int octave = (index - kSubBuckets) / kSubBuckets;
+  return BucketLowerBound(index) + ((static_cast<int64_t>(1) << octave) - 1);
+}
+
+int64_t LogLinearHistogram::Percentile(double p) const {
+  if (count_ == 0) return 0;
+  if (p <= 0) return min();
+  if (p >= 100) return max();
+  uint64_t rank = static_cast<uint64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(count_)));
+  if (rank == 0) rank = 1;
+  uint64_t cum = 0;
+  for (int i = 0; i < kNumBuckets; i++) {
+    cum += buckets_[i];
+    if (cum >= rank) {
+      int64_t ub = BucketUpperBound(i);
+      return ub > max_ ? max_ : ub;
+    }
+  }
+  return max_;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+LogLinearHistogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<LogLinearHistogram>();
+  return slot.get();
+}
+
+const Counter* MetricsRegistry::FindCounter(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : it->second.get();
+}
+
+const Gauge* MetricsRegistry::FindGauge(const std::string& name) const {
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : it->second.get();
+}
+
+const LogLinearHistogram* MetricsRegistry::FindHistogram(
+    const std::string& name) const {
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+namespace {
+void WriteJsonString(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+  os << '"';
+}
+}  // namespace
+
+void MetricsRegistry::WriteJson(std::ostream& os) const {
+  os << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    os << (first ? "\n    " : ",\n    ");
+    first = false;
+    WriteJsonString(os, name);
+    os << ": " << c->value();
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    os << (first ? "\n    " : ",\n    ");
+    first = false;
+    WriteJsonString(os, name);
+    os << ": {\"value\": " << g->value()
+       << ", \"high_water\": " << g->high_water() << "}";
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    os << (first ? "\n    " : ",\n    ");
+    first = false;
+    WriteJsonString(os, name);
+    os << ": {\"count\": " << h->count() << ", \"min\": " << h->min()
+       << ", \"max\": " << h->max() << ", \"mean\": " << h->Mean()
+       << ", \"p50\": " << h->Percentile(50)
+       << ", \"p90\": " << h->Percentile(90)
+       << ", \"p99\": " << h->Percentile(99)
+       << ", \"p999\": " << h->Percentile(99.9) << "}";
+  }
+  os << (first ? "" : "\n  ") << "}\n}\n";
+}
+
+bool MetricsRegistry::WriteJsonFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out.is_open()) return false;
+  WriteJson(out);
+  return out.good();
+}
+
+}  // namespace obs
+}  // namespace kafkadirect

@@ -1,0 +1,24 @@
+// Observability: the per-simulation bundle of a MetricsRegistry and a
+// SpanTracer. One instance lives on the net::Fabric, which every component
+// (brokers, RNICs, TCP stacks, clients) already holds a reference to —
+// giving all layers a shared sink without new plumbing.
+#pragma once
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "sim/simulator.h"
+
+namespace kafkadirect {
+namespace obs {
+
+struct Observability {
+  explicit Observability(sim::Simulator& sim) : tracer(sim) {}
+  Observability(const Observability&) = delete;
+  Observability& operator=(const Observability&) = delete;
+
+  MetricsRegistry metrics;
+  SpanTracer tracer;
+};
+
+}  // namespace obs
+}  // namespace kafkadirect

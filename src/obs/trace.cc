@@ -1,0 +1,170 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+namespace kafkadirect {
+namespace obs {
+
+TrackId SpanTracer::DefineTrack(const std::string& process,
+                                const std::string& thread) {
+  uint32_t pid = 0;
+  bool found = false;
+  for (const Track& t : tracks_) {
+    if (t.process == process) {
+      pid = t.pid;
+      found = true;
+      break;
+    }
+  }
+  if (!found) {
+    // pids intern in definition order: first process is 1, second 2, ...
+    uint32_t max_pid = 0;
+    for (const Track& t : tracks_) max_pid = std::max(max_pid, t.pid);
+    pid = max_pid + 1;
+  }
+  uint32_t tid = static_cast<uint32_t>(tracks_.size()) + 1;
+  tracks_.push_back(Track{process, thread, pid, tid});
+  return static_cast<TrackId>(tracks_.size() - 1);
+}
+
+namespace {
+void AppendTs(std::ostream& os, int64_t ns) {
+  // Chrome expects microseconds; keep ns precision with 3 decimals.
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.3f", static_cast<double>(ns) / 1000.0);
+  os << buf;
+}
+}  // namespace
+
+void SpanTracer::WriteChromeTrace(std::ostream& os) const {
+  os << "{\"traceEvents\": [\n";
+  bool first = true;
+  auto sep = [&] {
+    os << (first ? "" : ",\n");
+    first = false;
+  };
+  // Metadata: one process_name per interned pid, one thread_name per track.
+  uint32_t last_named_pid = 0;
+  for (const Track& t : tracks_) {
+    if (t.pid > last_named_pid) {
+      last_named_pid = t.pid;
+      sep();
+      os << "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": " << t.pid
+         << ", \"args\": {\"name\": \"" << t.process << "\"}}";
+    }
+    sep();
+    os << "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": " << t.pid
+       << ", \"tid\": " << t.tid << ", \"args\": {\"name\": \"" << t.thread
+       << "\"}}";
+  }
+  for (const EventRec& e : events_) {
+    // Events recorded against a never-defined track (enabled mid-run) are
+    // dropped rather than misattributed.
+    if (e.track >= tracks_.size()) continue;
+    const Track& t = tracks_[e.track];
+    sep();
+    switch (e.phase) {
+      case 'B':
+        os << "{\"name\": \"" << e.name << "\", \"ph\": \"B\", \"ts\": ";
+        AppendTs(os, e.ts_ns);
+        os << ", \"pid\": " << t.pid << ", \"tid\": " << t.tid << "}";
+        break;
+      case 'E':
+        os << "{\"ph\": \"E\", \"ts\": ";
+        AppendTs(os, e.ts_ns);
+        os << ", \"pid\": " << t.pid << ", \"tid\": " << t.tid << "}";
+        break;
+      case 'b':
+      case 'e':
+        os << "{\"cat\": \"async\", \"name\": \"" << e.name
+           << "\", \"ph\": \"" << e.phase << "\", \"id\": " << e.id
+           << ", \"ts\": ";
+        AppendTs(os, e.ts_ns);
+        os << ", \"pid\": " << t.pid << ", \"tid\": " << t.tid << "}";
+        break;
+      case 'i':
+        os << "{\"name\": \"" << e.name
+           << "\", \"ph\": \"i\", \"s\": \"t\", \"ts\": ";
+        AppendTs(os, e.ts_ns);
+        os << ", \"pid\": " << t.pid << ", \"tid\": " << t.tid << "}";
+        break;
+      case 'C':
+        os << "{\"name\": \"" << e.name << "\", \"ph\": \"C\", \"ts\": ";
+        AppendTs(os, e.ts_ns);
+        os << ", \"pid\": " << t.pid << ", \"tid\": " << t.tid
+           << ", \"args\": {\"value\": " << static_cast<int64_t>(e.id)
+           << "}}";
+        break;
+      default:
+        break;
+    }
+  }
+  os << "\n]}\n";
+}
+
+bool SpanTracer::WriteChromeTraceFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out.is_open()) return false;
+  WriteChromeTrace(out);
+  return out.good();
+}
+
+std::string SpanTracer::Summary() const {
+  struct Agg {
+    uint64_t count = 0;
+    int64_t total_ns = 0;
+  };
+  std::map<std::string, Agg> by_name;
+  // Sync spans: per-track stacks.  Async spans: matched by id.
+  std::vector<std::vector<EventRec>> stacks(tracks_.size());
+  std::map<uint64_t, EventRec> open_async;
+  for (const EventRec& e : events_) {
+    if (e.track >= tracks_.size()) continue;
+    switch (e.phase) {
+      case 'B':
+        stacks[e.track].push_back(e);
+        break;
+      case 'E':
+        if (!stacks[e.track].empty()) {
+          const EventRec& b = stacks[e.track].back();
+          Agg& a = by_name[b.name];
+          a.count++;
+          a.total_ns += e.ts_ns - b.ts_ns;
+          stacks[e.track].pop_back();
+        }
+        break;
+      case 'b':
+        open_async[e.id] = e;
+        break;
+      case 'e': {
+        auto it = open_async.find(e.id);
+        if (it != open_async.end()) {
+          Agg& a = by_name[it->second.name];
+          a.count++;
+          a.total_ns += e.ts_ns - it->second.ts_ns;
+          open_async.erase(it);
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  std::ostringstream os;
+  os << "span summary (" << events_.size() << " events, " << tracks_.size()
+     << " tracks)\n";
+  char line[160];
+  for (const auto& [name, a] : by_name) {
+    std::snprintf(line, sizeof(line), "  %-24s count=%llu total=%.1fus\n",
+                  name.c_str(), static_cast<unsigned long long>(a.count),
+                  static_cast<double>(a.total_ns) / 1e3);
+    os << line;
+  }
+  return os.str();
+}
+
+}  // namespace obs
+}  // namespace kafkadirect

@@ -1,0 +1,122 @@
+// SpanTracer: sim-clock-driven span recording with Chrome trace_event
+// export (chrome://tracing / Perfetto).
+//
+// Track model: a track is one timeline in the viewer, identified by a
+// (process, thread) name pair — e.g. ("broker-0", "api-worker-3") or
+// ("rdma", "qp-17"). Processes are interned by name; each track gets its
+// own thread id.
+//
+// Span model:
+//  - Begin/End record synchronous spans on a track. Nesting on the same
+//    track expresses parent/child: a log.append span opened inside an
+//    api.produce span renders as its child.
+//  - AsyncBegin/AsyncEnd record id-matched spans that may interleave
+//    (queue waits, RDMA ops in flight).
+//
+// Cost contract: the tracer is disabled by default and every record call
+// early-returns on a single branch, so compiled-in tracing stays within
+// noise on the simcore bench. Span names must be string literals (stored
+// as pointers, never copied), so recording does not allocate except for
+// amortized event-vector growth.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace kafkadirect {
+namespace obs {
+
+using TrackId = uint32_t;
+
+class SpanTracer {
+ public:
+  explicit SpanTracer(sim::Simulator& sim) : sim_(sim) {}
+  SpanTracer(const SpanTracer&) = delete;
+  SpanTracer& operator=(const SpanTracer&) = delete;
+
+  void Enable() {
+    enabled_ = true;
+    events_.reserve(4096);
+  }
+  bool enabled() const { return enabled_; }
+
+  /// Registers a timeline. Allocates; call at setup time, not on hot paths.
+  /// Returns a stable id usable whether or not the tracer is enabled.
+  TrackId DefineTrack(const std::string& process, const std::string& thread);
+
+  /// Synchronous (nested) span. `name` must be a string literal.
+  void Begin(TrackId track, const char* name) {
+    if (!enabled_) return;
+    Record('B', track, name, 0);
+  }
+  void End(TrackId track) {
+    if (!enabled_) return;
+    Record('E', track, "", 0);
+  }
+
+  /// Async (id-matched) span; Begin returns the id to pass to End.
+  /// Returns 0 when disabled; AsyncEnd(_, _, 0) is a no-op.
+  uint64_t AsyncBegin(TrackId track, const char* name) {
+    if (!enabled_) return 0;
+    uint64_t id = next_async_id_++;
+    Record('b', track, name, id);
+    return id;
+  }
+  void AsyncEnd(TrackId track, const char* name, uint64_t id) {
+    if (!enabled_ || id == 0) return;
+    Record('e', track, name, id);
+  }
+
+  void Instant(TrackId track, const char* name) {
+    if (!enabled_) return;
+    Record('i', track, name, 0);
+  }
+
+  /// Chrome counter track sample (renders as a filled graph).
+  void CounterSample(TrackId track, const char* name, int64_t value) {
+    if (!enabled_) return;
+    Record('C', track, name, static_cast<uint64_t>(value));
+  }
+
+  size_t num_events() const { return events_.size(); }
+  size_t num_tracks() const { return tracks_.size(); }
+
+  /// Chrome trace_event JSON ({"traceEvents": [...]}).
+  void WriteChromeTrace(std::ostream& os) const;
+  bool WriteChromeTraceFile(const std::string& path) const;
+
+  /// Compact text summary: per span name, count and total duration.
+  std::string Summary() const;
+
+ private:
+  struct EventRec {
+    int64_t ts_ns;
+    const char* name;  // string literal; never owned
+    TrackId track;
+    char phase;   // 'B','E','b','e','i','C'
+    uint64_t id;  // async id ('b'/'e') or counter value ('C')
+  };
+  struct Track {
+    std::string process;
+    std::string thread;
+    uint32_t pid;  // interned per process name
+    uint32_t tid;
+  };
+
+  void Record(char phase, TrackId track, const char* name, uint64_t id) {
+    events_.push_back(EventRec{sim_.Now(), name, track, phase, id});
+  }
+
+  sim::Simulator& sim_;
+  bool enabled_ = false;
+  std::vector<Track> tracks_;
+  std::vector<EventRec> events_;
+  uint64_t next_async_id_ = 1;
+};
+
+}  // namespace obs
+}  // namespace kafkadirect

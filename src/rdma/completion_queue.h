@@ -9,6 +9,7 @@
 #include <optional>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "sim/awaitable.h"
 #include "sim/simulator.h"
 #include "sim/task.h"
@@ -65,6 +66,10 @@ class CompletionQueue
   void AttachQp(QueuePair* qp) { qps_.push_back(qp); }
   void DetachQp(QueuePair* qp);
 
+  /// Optional depth gauge (typically the node-wide CQ high-water mark);
+  /// sampled on every Push.
+  void set_depth_gauge(obs::Gauge* gauge) { depth_gauge_ = gauge; }
+
   bool in_error() const { return error_; }
   size_t depth() const { return cqes_.size(); }
   int capacity() const { return capacity_; }
@@ -76,6 +81,7 @@ class CompletionQueue
   std::deque<WorkCompletion> cqes_;
   sim::Event arrival_;
   std::vector<QueuePair*> qps_;
+  obs::Gauge* depth_gauge_ = nullptr;
   bool error_ = false;
   uint64_t total_ = 0;
 };

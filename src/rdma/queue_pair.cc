@@ -29,6 +29,20 @@ bool CanInline(Opcode op) {
 const uint8_t* SendSource(const WorkRequest& wr) {
   return wr.send_inline ? wr.inline_data : wr.local_addr;
 }
+
+/// Trace span names per opcode (string literals; the tracer stores
+/// pointers, never copies).
+const char* SpanName(Opcode op) {
+  switch (op) {
+    case Opcode::kSend: return "rdma.Send";
+    case Opcode::kWrite: return "rdma.Write";
+    case Opcode::kWriteWithImm: return "rdma.WriteWithImm";
+    case Opcode::kRead: return "rdma.Read";
+    case Opcode::kCompSwap: return "rdma.CompSwap";
+    case Opcode::kFetchAdd: return "rdma.FetchAdd";
+    default: return "rdma.op";
+  }
+}
 }  // namespace
 
 const char* OpcodeName(Opcode op) {
@@ -68,6 +82,9 @@ void CompletionQueue::Push(const WorkCompletion& wc) {
   }
   cqes_.push_back(wc);
   total_++;
+  if (depth_gauge_ != nullptr) {
+    depth_gauge_->Set(static_cast<int64_t>(cqes_.size()));
+  }
   arrival_.Pulse();
 }
 
@@ -87,6 +104,29 @@ QueuePair::QueuePair(Rnic* rnic, std::shared_ptr<CompletionQueue> send_cq,
       error_event_(rnic->simulator()) {
   send_cq_->AttachQp(this);
   if (recv_cq_ != send_cq_) recv_cq_->AttachQp(this);
+  // Metric registration (allocates) happens once here; PostSend/PostRecv
+  // only bump the resulting pointers.
+  obs::Observability& ob = rnic->fabric().obs();
+  const std::string prefix = "kd.rdma.qp." + std::to_string(qp_num_) + ".";
+  qp_counters_.send = ob.metrics.GetCounter(prefix + "send");
+  qp_counters_.write = ob.metrics.GetCounter(prefix + "write");
+  qp_counters_.read = ob.metrics.GetCounter(prefix + "read");
+  qp_counters_.atomic = ob.metrics.GetCounter(prefix + "atomic");
+  qp_counters_.recv = ob.metrics.GetCounter(prefix + "recv");
+  qp_counters_.inline_sends = ob.metrics.GetCounter(prefix + "inline_sends");
+  qp_counters_.bytes = ob.metrics.GetCounter(prefix + "bytes");
+  agg_counters_.send = ob.metrics.GetCounter("kd.rdma.ops.send");
+  agg_counters_.write = ob.metrics.GetCounter("kd.rdma.ops.write");
+  agg_counters_.read = ob.metrics.GetCounter("kd.rdma.ops.read");
+  agg_counters_.atomic = ob.metrics.GetCounter("kd.rdma.ops.atomic");
+  agg_counters_.recv = ob.metrics.GetCounter("kd.rdma.ops.recv");
+  agg_counters_.inline_sends = ob.metrics.GetCounter("kd.rdma.inline_sends");
+  agg_counters_.bytes = ob.metrics.GetCounter("kd.rdma.bytes_posted");
+  tracer_ = &ob.tracer;
+  if (tracer_->enabled()) {
+    trace_track_ =
+        tracer_->DefineTrack("rdma", "qp-" + std::to_string(qp_num_));
+  }
 }
 
 QueuePair::~QueuePair() {
@@ -121,6 +161,37 @@ Status QueuePair::PostSend(const WorkRequest& wr) {
     }
     queued.local_addr = nullptr;
   }
+  switch (queued.opcode) {
+    case Opcode::kSend:
+      qp_counters_.send->Increment();
+      agg_counters_.send->Increment();
+      break;
+    case Opcode::kWrite:
+    case Opcode::kWriteWithImm:
+      qp_counters_.write->Increment();
+      agg_counters_.write->Increment();
+      break;
+    case Opcode::kRead:
+      qp_counters_.read->Increment();
+      agg_counters_.read->Increment();
+      break;
+    case Opcode::kCompSwap:
+    case Opcode::kFetchAdd:
+      qp_counters_.atomic->Increment();
+      agg_counters_.atomic->Increment();
+      break;
+    default:
+      break;
+  }
+  if (queued.send_inline) {
+    qp_counters_.inline_sends->Increment();
+    agg_counters_.inline_sends->Increment();
+  }
+  qp_counters_.bytes->Increment(queued.length);
+  agg_counters_.bytes->Increment(queued.length);
+  // Async span: post -> fabric -> initiator completion. Ends in
+  // CompleteInitiator when the CQE (or flush) is delivered.
+  queued.span_id = tracer_->AsyncBegin(trace_track_, SpanName(queued.opcode));
   outstanding_++;
   send_ch_.Push(std::move(queued));
   return Status::OK();
@@ -133,6 +204,8 @@ Status QueuePair::PostRecv(uint64_t wr_id, uint8_t* buf, uint32_t len) {
   if (recvs_.size() >= static_cast<size_t>(rnic_->cost().rdma.max_recv_wr)) {
     return Status::ResourceExhausted("PostRecv: receive queue full");
   }
+  qp_counters_.recv->Increment();
+  agg_counters_.recv->Increment();
   recvs_.push_back(PostedRecv{wr_id, buf, len});
   return Status::OK();
 }
@@ -173,6 +246,8 @@ void QueuePair::CompleteInitiator(const WorkRequest& wr, WcStatus status,
   auto self = shared_from_this();
   sim_.ScheduleAt(when, [self, wr, status, byte_len]() {
     if (self->outstanding_ > 0) self->outstanding_--;
+    self->tracer_->AsyncEnd(self->trace_track_, SpanName(wr.opcode),
+                            wr.span_id);
     if (wr.signaled || status != WcStatus::kSuccess) {
       WorkCompletion wc;
       wc.wr_id = wr.wr_id;

@@ -18,6 +18,7 @@
 
 #include "common/status.h"
 #include "net/fabric.h"
+#include "obs/observability.h"
 #include "rdma/completion_queue.h"
 #include "rdma/memory_region.h"
 #include "rdma/verbs.h"
@@ -115,6 +116,23 @@ class QueuePair : public std::enable_shared_from_this<QueuePair> {
   /// Responder response-channel ordering: responses (acks, read data,
   /// atomic results) leave in execution order.
   sim::TimeNs resp_chain_ = 0;
+
+  /// Per-QP verbs counters (kd.rdma.qp.<num>.*) plus process-wide
+  /// aggregates; registered once at construction, bumped in PostSend /
+  /// PostRecv with no allocation.
+  struct OpCounters {
+    obs::Counter* send = nullptr;
+    obs::Counter* write = nullptr;
+    obs::Counter* read = nullptr;
+    obs::Counter* atomic = nullptr;
+    obs::Counter* recv = nullptr;
+    obs::Counter* inline_sends = nullptr;
+    obs::Counter* bytes = nullptr;
+  };
+  OpCounters qp_counters_;
+  OpCounters agg_counters_;
+  obs::SpanTracer* tracer_;
+  obs::TrackId trace_track_ = 0;
 };
 
 /// Connects two INIT-state QPs into an RC connection and starts their

@@ -41,7 +41,12 @@ MemoryRegion* Rnic::LookupMr(uint32_t rkey) {
 
 std::shared_ptr<CompletionQueue> Rnic::CreateCq(int capacity) {
   if (capacity <= 0) capacity = fabric_.cost().rdma.default_cq_capacity;
-  return std::make_shared<CompletionQueue>(sim_, capacity);
+  auto cq = std::make_shared<CompletionQueue>(sim_, capacity);
+  // All CQs feed one process-wide depth gauge; its high-water mark is the
+  // worst polling backlog any CQ saw.
+  cq->set_depth_gauge(
+      fabric_.obs().metrics.GetGauge("kd.rdma.cq.depth"));
+  return cq;
 }
 
 std::shared_ptr<QueuePair> Rnic::CreateQp(

@@ -76,6 +76,10 @@ struct WorkRequest {
   /// `local_addr`.
   uint64_t compare_add = 0;
   uint64_t swap = 0;
+
+  /// Tracing correlation id (obs::SpanTracer async span), assigned by
+  /// PostSend when tracing is enabled; 0 otherwise.
+  uint64_t span_id = 0;
 };
 
 /// A completion queue entry.

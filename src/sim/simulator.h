@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "common/inline_function.h"
+#include "common/logging.h"
 
 namespace kafkadirect {
 namespace sim {
@@ -46,7 +47,14 @@ class Simulator {
     overflow_.reserve(kInitialEventCapacity);
     slots_.reserve(kInitialEventCapacity);
     free_slots_.reserve(kInitialEventCapacity);
+    // KD_LOG lines carry this simulator's virtual timestamp while it lives.
+    SetLogClock(
+        [](const void* ctx) {
+          return static_cast<const Simulator*>(ctx)->Now();
+        },
+        this);
   }
+  ~Simulator() { ClearLogClock(this); }
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 

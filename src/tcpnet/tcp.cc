@@ -21,8 +21,12 @@ sim::Co<Status> TcpSocket::Send(std::vector<uint8_t> msg, bool zero_copy) {
 
   // Sender side: syscall + kernel transmit path (+ user->kernel copy unless
   // the sendfile path is used).
+  network_->syscalls_->Increment();
+  network_->messages_->Increment();
+  network_->bytes_sent_->Increment(msg.size());
   sim::TimeNs sender_cost = cm.tcp.send_overhead_ns;
   if (!zero_copy) {
+    network_->copied_bytes_->Increment(msg.size());
     sender_cost += static_cast<sim::TimeNs>(cm.tcp.send_copy_ns_per_byte *
                                             static_cast<double>(msg.size()));
   }
@@ -69,6 +73,8 @@ sim::Co<StatusOr<std::vector<uint8_t>>> TcpSocket::Recv() {
     co_await sim::Delay(sim, cm.cpu.wakeup_ns);
   }
   // Kernel->user copies on the receive path.
+  network_->syscalls_->Increment();
+  network_->copied_bytes_->Increment(item->size());
   co_await sim::Delay(
       sim, static_cast<sim::TimeNs>(cm.tcp.recv_copy_ns_per_byte *
                                     static_cast<double>(item->size())));
@@ -114,6 +120,8 @@ sim::Co<StatusOr<net::MessageStreamPtr>> Network::Connect(net::NodeId from,
     co_return Status::NotFound("connection refused: no listener");
   }
   const CostModel& cm = cost();
+  connects_->Increment();
+  syscalls_->Increment();
   // SYN / SYN-ACK round trip plus kernel connection setup on both ends.
   co_await sim::Delay(sim_, 2 * cm.link.propagation_ns +
                                 2 * cm.tcp.send_overhead_ns);

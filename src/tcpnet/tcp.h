@@ -63,7 +63,16 @@ class TcpListener : public net::StreamListener {
 class Network {
  public:
   Network(sim::Simulator& sim, net::Fabric& fabric)
-      : sim_(sim), fabric_(fabric) {}
+      : sim_(sim), fabric_(fabric) {
+    // kd.tcp.* counters make the paper's "TCP pays syscalls and copies"
+    // claim directly measurable (registered once; bumped per operation).
+    obs::MetricsRegistry& m = fabric.obs().metrics;
+    syscalls_ = m.GetCounter("kd.tcp.syscalls");
+    copied_bytes_ = m.GetCounter("kd.tcp.copied_bytes");
+    messages_ = m.GetCounter("kd.tcp.messages");
+    bytes_sent_ = m.GetCounter("kd.tcp.bytes_sent");
+    connects_ = m.GetCounter("kd.tcp.connects");
+  }
 
   /// Binds a listener on (node, port).
   StatusOr<std::shared_ptr<TcpListener>> Listen(net::NodeId node,
@@ -86,6 +95,11 @@ class Network {
   net::Fabric& fabric_;
   std::map<std::pair<net::NodeId, uint16_t>, std::shared_ptr<TcpListener>>
       listeners_;
+  obs::Counter* syscalls_;
+  obs::Counter* copied_bytes_;
+  obs::Counter* messages_;
+  obs::Counter* bytes_sent_;
+  obs::Counter* connects_;
 };
 
 }  // namespace tcpnet

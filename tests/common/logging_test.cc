@@ -1,0 +1,88 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/awaitable.h"
+#include "sim/simulator.h"
+#include "sim/task.h"
+
+namespace kafkadirect {
+namespace {
+
+/// RAII: raise the log level for a test, restore on exit.
+struct ScopedLogLevel {
+  explicit ScopedLogLevel(LogLevel level) : saved(GetLogLevel()) {
+    SetLogLevel(level);
+  }
+  ~ScopedLogLevel() { SetLogLevel(saved); }
+  LogLevel saved;
+};
+
+TEST(LoggingTest, NoClockMeansNoTimestamp) {
+  ScopedLogLevel quiet(LogLevel::kInfo);
+  testing::internal::CaptureStderr();
+  KD_LOG(kInfo) << "plain";
+  std::string out = testing::internal::GetCapturedStderr();
+  EXPECT_NE(out.find("[INFO "), std::string::npos);
+  EXPECT_EQ(out.find("ns "), std::string::npos);
+}
+
+TEST(LoggingTest, SimulatorClockPrefixesVirtualTime) {
+  ScopedLogLevel quiet(LogLevel::kInfo);
+  sim::Simulator sim;  // registers itself as the log clock
+  sim.ScheduleAt(12345, [] {});
+  sim.Run();
+  testing::internal::CaptureStderr();
+  KD_LOG(kInfo) << "timed";
+  std::string out = testing::internal::GetCapturedStderr();
+  EXPECT_NE(out.find("[INFO 12345ns "), std::string::npos) << out;
+}
+
+TEST(LoggingTest, ClockClearsWithSimulator) {
+  ScopedLogLevel quiet(LogLevel::kInfo);
+  {
+    sim::Simulator sim;
+    sim.ScheduleAt(777, [] {});
+    sim.Run();
+  }
+  testing::internal::CaptureStderr();
+  KD_LOG(kInfo) << "after teardown";
+  std::string out = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(out.find("777"), std::string::npos);
+  EXPECT_EQ(out.find("ns "), std::string::npos);
+}
+
+TEST(LoggingTest, NestedSimulatorsMostRecentWinsAndUnwinds) {
+  ScopedLogLevel quiet(LogLevel::kInfo);
+  sim::Simulator outer;
+  outer.ScheduleAt(100, [] {});
+  outer.Run();
+  {
+    sim::Simulator inner;
+    inner.ScheduleAt(999, [] {});
+    inner.Run();
+    testing::internal::CaptureStderr();
+    KD_LOG(kInfo) << "inner active";
+    EXPECT_NE(testing::internal::GetCapturedStderr().find("999ns"),
+              std::string::npos);
+  }
+  // Destroying the inner simulator clears only its own hook; the outer
+  // simulator's registration was already displaced, so no clock remains.
+  testing::internal::CaptureStderr();
+  KD_LOG(kInfo) << "outer remains";
+  std::string out = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(out.find("ns "), std::string::npos);
+}
+
+TEST(LoggingTest, LogInsideSimulationShowsEventTime) {
+  ScopedLogLevel quiet(LogLevel::kInfo);
+  sim::Simulator sim;
+  testing::internal::CaptureStderr();
+  sim.ScheduleAt(5000, [] { KD_LOG(kInfo) << "from event"; });
+  sim.Run();
+  std::string out = testing::internal::GetCapturedStderr();
+  EXPECT_NE(out.find("[INFO 5000ns "), std::string::npos) << out;
+}
+
+}  // namespace
+}  // namespace kafkadirect

@@ -1,0 +1,149 @@
+// Golden-trace test (ISSUE 3 satellite): a tiny single-broker TCP produce
+// run must emit a Chrome trace containing the full produce lifecycle —
+// network receive, request-queue wait, API worker handling, log append,
+// ack send — with correct nesting, and the span event stream must be
+// byte-identical across two identical fresh deployments (determinism).
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/harness.h"
+
+namespace kafkadirect {
+namespace harness {
+namespace {
+
+sim::Co<void> ProduceFew(TestCluster* cluster, kafka::TopicPartitionId tp,
+                         bool* done) {
+  net::NodeId node = cluster->AddClientNode("producer");
+  kafka::TcpProducer producer(
+      cluster->sim(), cluster->tcp(), node,
+      kafka::ProducerConfig{.acks = -1, .max_inflight = 1});
+  KD_CHECK_OK(co_await producer.Connect(cluster->Leader(tp)->node()));
+  std::string value(128, 'g');
+  for (int i = 0; i < 3; i++) {
+    auto off = co_await producer.Produce(tp, Slice("k", 1), Slice(value));
+    KD_CHECK(off.ok()) << off.status().ToString();
+  }
+  producer.Close();
+  *done = true;
+}
+
+std::string TraceOfTinyProduceRun() {
+  DeploymentConfig deploy;
+  deploy.enable_tracing = true;
+  TestCluster cluster(deploy);
+  KD_CHECK_OK(cluster.CreateTopic("golden", 1, 1));
+  bool done = false;
+  sim::Spawn(cluster.sim(),
+             ProduceFew(&cluster, kafka::TopicPartitionId{"golden", 0},
+                        &done));
+  cluster.RunToFlag(&done);
+  std::ostringstream os;
+  cluster.fabric().obs().tracer.WriteChromeTrace(os);
+  return os.str();
+}
+
+/// Event lines only — metadata carries process-global QP numbers that
+/// differ between otherwise identical runs.
+std::string StripMetadata(const std::string& json) {
+  std::istringstream in(json);
+  std::ostringstream out;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find("\"ph\": \"M\"") == std::string::npos) out << line << "\n";
+  }
+  return out.str();
+}
+
+struct MiniEvent {
+  char phase;
+  std::string name;
+  std::string tid;
+};
+
+/// Tiny line-oriented scan of the writer's one-event-per-line JSON.
+std::vector<MiniEvent> ParseEvents(const std::string& json) {
+  std::vector<MiniEvent> events;
+  std::istringstream in(json);
+  std::string line;
+  auto field = [](const std::string& s, const std::string& key) {
+    size_t pos = s.find("\"" + key + "\": ");
+    if (pos == std::string::npos) return std::string();
+    pos += key.size() + 4;
+    size_t end = pos;
+    if (s[pos] == '"') {
+      end = s.find('"', ++pos);
+    } else {
+      end = s.find_first_of(",}", pos);
+    }
+    return s.substr(pos, end - pos);
+  };
+  while (std::getline(in, line)) {
+    std::string ph = field(line, "ph");
+    if (ph.empty() || ph == "M") continue;
+    events.push_back(MiniEvent{ph[0], field(line, "name"),
+                               field(line, "tid")});
+  }
+  return events;
+}
+
+TEST(GoldenTraceTest, ProduceLifecycleSpansPresent) {
+  std::string json = TraceOfTinyProduceRun();
+  ASSERT_EQ(json.rfind("{\"traceEvents\": [", 0), 0u);
+  for (const char* span : {"net.receive", "queue.wait", "api.produce",
+                           "log.append", "ack.send"}) {
+    EXPECT_NE(json.find(std::string("\"") + span + "\""), std::string::npos)
+        << "missing span " << span;
+  }
+}
+
+TEST(GoldenTraceTest, LogAppendNestsInsideApiProduce) {
+  std::vector<MiniEvent> events = ParseEvents(TraceOfTinyProduceRun());
+  ASSERT_FALSE(events.empty());
+  // Every sync Begin is eventually closed.
+  int depth = 0;
+  bool saw_nested_append = false;
+  std::vector<const MiniEvent*> stack;
+  for (const MiniEvent& e : events) {
+    if (e.phase == 'B') {
+      if (!stack.empty() && stack.back()->name == "api.produce" &&
+          stack.back()->tid == e.tid && e.name == "log.append") {
+        saw_nested_append = true;
+      }
+      stack.push_back(&e);
+      depth++;
+    } else if (e.phase == 'E') {
+      ASSERT_GT(depth, 0);
+      stack.pop_back();
+      depth--;
+    }
+  }
+  EXPECT_EQ(depth, 0) << "unbalanced sync spans";
+  EXPECT_TRUE(saw_nested_append)
+      << "log.append must render as a child of api.produce";
+}
+
+TEST(GoldenTraceTest, AsyncSpansPairUp) {
+  std::vector<MiniEvent> events = ParseEvents(TraceOfTinyProduceRun());
+  int opens = 0;
+  int closes = 0;
+  for (const MiniEvent& e : events) {
+    if (e.phase == 'b') opens++;
+    if (e.phase == 'e') closes++;
+  }
+  EXPECT_GT(opens, 0);
+  EXPECT_EQ(opens, closes);
+}
+
+TEST(GoldenTraceTest, EventStreamIsDeterministicAcrossRuns) {
+  std::string first = StripMetadata(TraceOfTinyProduceRun());
+  std::string second = StripMetadata(TraceOfTinyProduceRun());
+  EXPECT_EQ(first, second);
+}
+
+}  // namespace
+}  // namespace harness
+}  // namespace kafkadirect

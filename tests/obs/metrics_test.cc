@@ -1,0 +1,160 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/histogram.h"
+#include "common/random.h"
+
+namespace kafkadirect {
+namespace obs {
+namespace {
+
+TEST(CounterTest, IncrementsAccumulate) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(GaugeTest, TracksHighWater) {
+  Gauge g;
+  g.Set(5);
+  g.Set(17);
+  g.Set(3);
+  EXPECT_EQ(g.value(), 3);
+  EXPECT_EQ(g.high_water(), 17);
+  g.Add(-10);
+  EXPECT_EQ(g.value(), -7);
+  EXPECT_EQ(g.high_water(), 17);
+}
+
+TEST(MetricsRegistryTest, FindOrCreateReturnsStablePointers) {
+  MetricsRegistry reg;
+  Counter* a = reg.GetCounter("kd.test.a");
+  a->Increment(3);
+  // Registering many more instruments must not move the first one.
+  for (int i = 0; i < 100; i++) {
+    reg.GetCounter("kd.test.fill" + std::to_string(i));
+  }
+  EXPECT_EQ(reg.GetCounter("kd.test.a"), a);
+  EXPECT_EQ(a->value(), 3u);
+  EXPECT_EQ(reg.num_instruments(), 101u);
+}
+
+TEST(MetricsRegistryTest, FindDoesNotCreate) {
+  MetricsRegistry reg;
+  EXPECT_EQ(reg.FindCounter("absent"), nullptr);
+  EXPECT_EQ(reg.FindGauge("absent"), nullptr);
+  EXPECT_EQ(reg.FindHistogram("absent"), nullptr);
+  EXPECT_EQ(reg.num_instruments(), 0u);
+  reg.GetGauge("present")->Set(9);
+  ASSERT_NE(reg.FindGauge("present"), nullptr);
+  EXPECT_EQ(reg.FindGauge("present")->value(), 9);
+}
+
+TEST(MetricsRegistryTest, JsonSnapshotHasAllSections) {
+  MetricsRegistry reg;
+  reg.GetCounter("kd.c")->Increment(7);
+  reg.GetGauge("kd.g")->Set(11);
+  LogLinearHistogram* h = reg.GetHistogram("kd.h");
+  for (int64_t v : {100, 200, 300}) h->Add(v);
+  std::ostringstream os;
+  reg.WriteJson(os);
+  std::string json = os.str();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"kd.c\": 7"), std::string::npos);
+  EXPECT_NE(json.find("\"kd.g\": {\"value\": 11, \"high_water\": 11}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"count\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"min\": 100"), std::string::npos);
+  EXPECT_NE(json.find("\"max\": 300"), std::string::npos);
+}
+
+TEST(LogLinearHistogramTest, SmallValuesAreExact) {
+  LogLinearHistogram h;
+  for (int64_t v = 0; v < 32; v++) h.Add(v);
+  // Values below one sub-bucket count map to unit-width buckets.
+  for (int64_t v = 0; v < 32; v++) {
+    EXPECT_EQ(LogLinearHistogram::BucketLowerBound(
+                  LogLinearHistogram::BucketIndex(v)),
+              v);
+    EXPECT_EQ(LogLinearHistogram::BucketUpperBound(
+                  LogLinearHistogram::BucketIndex(v)),
+              v);
+  }
+  // Nearest-rank p50 over 0..31 is the 16th smallest sample, i.e. 15.
+  EXPECT_EQ(h.Percentile(50), 15);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 31);
+}
+
+TEST(LogLinearHistogramTest, BucketBoundsBracketValue) {
+  const int64_t probes[] = {0,    1,    31,        32,
+                            33,   63,   64,        1000,
+                            4095, 4096, 123456789, int64_t{1} << 40,
+                            (int64_t{1} << 40) + 12345};
+  for (int64_t v : probes) {
+    int idx = LogLinearHistogram::BucketIndex(v);
+    EXPECT_LE(LogLinearHistogram::BucketLowerBound(idx), v) << v;
+    EXPECT_GE(LogLinearHistogram::BucketUpperBound(idx), v) << v;
+    // Relative bucket width is at most 1/32.
+    int64_t width = LogLinearHistogram::BucketUpperBound(idx) -
+                    LogLinearHistogram::BucketLowerBound(idx) + 1;
+    if (v >= 32) {
+      EXPECT_LE(width, v / 32 + 1) << v;
+    }
+  }
+}
+
+TEST(LogLinearHistogramTest, BucketIndexIsMonotonic) {
+  int last = -1;
+  for (int64_t v = 0; v < 100000; v += 7) {
+    int idx = LogLinearHistogram::BucketIndex(v);
+    EXPECT_GE(idx, last);
+    last = idx;
+  }
+}
+
+TEST(LogLinearHistogramTest, NegativeClampsToZero) {
+  LogLinearHistogram h;
+  h.Add(-5);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.Percentile(50), 0);
+}
+
+// The registry-vs-exact cross-check the ISSUE requires: log-linear
+// percentiles must land within one bucket of the exact (sample-storing)
+// Histogram's nearest-rank percentiles.
+TEST(LogLinearHistogramTest, PercentilesMatchExactWithinOneBucket) {
+  LogLinearHistogram loglin;
+  Histogram exact;
+  Random rng(1234);
+  for (int i = 0; i < 20000; i++) {
+    // Span several octaves, like produce latencies do (100ns .. ~10ms).
+    int64_t v = static_cast<int64_t>(100 + rng.Uniform(1 << 20) +
+                                     rng.Uniform(1 << 12));
+    loglin.Add(v);
+    exact.Add(v);
+  }
+  EXPECT_EQ(loglin.count(), exact.count());
+  EXPECT_EQ(loglin.min(), exact.Min());
+  EXPECT_EQ(loglin.max(), exact.Max());
+  EXPECT_NEAR(loglin.Mean(), exact.Mean(), exact.Mean() * 1e-9 + 1e-6);
+  for (double p : {10.0, 50.0, 90.0, 99.0, 99.9}) {
+    int64_t e = exact.Percentile(p);
+    int64_t l = loglin.Percentile(p);
+    // The log-linear estimate is the bucket upper bound of the
+    // nearest-rank sample, so it is >= exact and within one bucket width.
+    EXPECT_GE(l, e) << "p" << p;
+    int64_t bucket_end = LogLinearHistogram::BucketUpperBound(
+        LogLinearHistogram::BucketIndex(e) + 1);
+    EXPECT_LE(l, bucket_end) << "p" << p;
+  }
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace kafkadirect

@@ -1,0 +1,134 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/simulator.h"
+
+namespace kafkadirect {
+namespace obs {
+namespace {
+
+TEST(SpanTracerTest, DisabledRecordsNothing) {
+  sim::Simulator sim;
+  SpanTracer tracer(sim);
+  TrackId t = tracer.DefineTrack("p", "t");
+  tracer.Begin(t, "span");
+  tracer.End(t);
+  EXPECT_EQ(tracer.AsyncBegin(t, "a"), 0u);
+  tracer.AsyncEnd(t, "a", 0);
+  tracer.Instant(t, "i");
+  tracer.CounterSample(t, "c", 5);
+  EXPECT_EQ(tracer.num_events(), 0u);
+}
+
+TEST(SpanTracerTest, ProcessInterningSharesPid) {
+  sim::Simulator sim;
+  SpanTracer tracer(sim);
+  tracer.Enable();
+  tracer.DefineTrack("broker-0", "net");
+  tracer.DefineTrack("broker-0", "worker-0");
+  tracer.DefineTrack("rdma", "qp-1");
+  EXPECT_EQ(tracer.num_tracks(), 3u);
+  std::ostringstream os;
+  tracer.WriteChromeTrace(os);
+  std::string json = os.str();
+  // Two distinct processes -> exactly two process_name metadata records.
+  size_t count = 0;
+  for (size_t pos = 0;
+       (pos = json.find("\"process_name\"", pos)) != std::string::npos;
+       pos += 1) {
+    count++;
+  }
+  EXPECT_EQ(count, 2u);
+  // Three tracks -> three thread_name records.
+  count = 0;
+  for (size_t pos = 0;
+       (pos = json.find("\"thread_name\"", pos)) != std::string::npos;
+       pos += 1) {
+    count++;
+  }
+  EXPECT_EQ(count, 3u);
+}
+
+TEST(SpanTracerTest, SyncSpansNestAndSummarize) {
+  sim::Simulator sim;
+  SpanTracer tracer(sim);
+  tracer.Enable();
+  TrackId t = tracer.DefineTrack("broker-0", "worker-0");
+  sim.ScheduleAt(1000, [&] { tracer.Begin(t, "api.produce"); });
+  sim.ScheduleAt(1500, [&] { tracer.Begin(t, "log.append"); });
+  sim.ScheduleAt(2500, [&] { tracer.End(t); });   // log.append: 1000 ns
+  sim.ScheduleAt(4000, [&] { tracer.End(t); });   // api.produce: 3000 ns
+  sim.Run();
+  EXPECT_EQ(tracer.num_events(), 4u);
+  std::string summary = tracer.Summary();
+  EXPECT_NE(summary.find("api.produce"), std::string::npos);
+  EXPECT_NE(summary.find("log.append"), std::string::npos);
+  EXPECT_NE(summary.find("total=1.0us"), std::string::npos);
+  EXPECT_NE(summary.find("total=3.0us"), std::string::npos);
+}
+
+TEST(SpanTracerTest, AsyncSpansMatchById) {
+  sim::Simulator sim;
+  SpanTracer tracer(sim);
+  tracer.Enable();
+  TrackId t = tracer.DefineTrack("rdma", "qp-1");
+  uint64_t id1 = 0;
+  uint64_t id2 = 0;
+  sim.ScheduleAt(100, [&] { id1 = tracer.AsyncBegin(t, "rdma.Write"); });
+  sim.ScheduleAt(200, [&] { id2 = tracer.AsyncBegin(t, "rdma.Write"); });
+  // Interleaved completion order: ids must pair begin/end correctly.
+  sim.ScheduleAt(900, [&] { tracer.AsyncEnd(t, "rdma.Write", id2); });
+  sim.ScheduleAt(1100, [&] { tracer.AsyncEnd(t, "rdma.Write", id1); });
+  sim.Run();
+  EXPECT_NE(id1, 0u);
+  EXPECT_NE(id2, id1);
+  std::string summary = tracer.Summary();
+  // (900-200) + (1100-100) = 1.7 us total across 2 spans.
+  EXPECT_NE(summary.find("count=2"), std::string::npos);
+  EXPECT_NE(summary.find("total=1.7us"), std::string::npos);
+}
+
+TEST(SpanTracerTest, ChromeTraceEventOrderFollowsSimTime) {
+  sim::Simulator sim;
+  SpanTracer tracer(sim);
+  tracer.Enable();
+  TrackId t = tracer.DefineTrack("p", "t");
+  sim.ScheduleAt(2100, [&] { tracer.Begin(t, "second"); });
+  sim.ScheduleAt(100, [&] { tracer.Begin(t, "first"); });
+  sim.ScheduleAt(3000, [&] {
+    tracer.End(t);
+    tracer.End(t);
+  });
+  sim.Run();
+  std::ostringstream os;
+  tracer.WriteChromeTrace(os);
+  std::string json = os.str();
+  // The simulator delivers in time order, so events appear sorted and the
+  // microsecond timestamps preserve nanosecond precision.
+  EXPECT_LT(json.find("\"first\""), json.find("\"second\""));
+  EXPECT_NE(json.find("\"ts\": 0.100"), std::string::npos);
+  EXPECT_NE(json.find("\"ts\": 2.100"), std::string::npos);
+}
+
+TEST(SpanTracerTest, CounterAndInstantEvents) {
+  sim::Simulator sim;
+  SpanTracer tracer(sim);
+  tracer.Enable();
+  TrackId t = tracer.DefineTrack("broker-0", "queue");
+  sim.ScheduleAt(50, [&] { tracer.CounterSample(t, "depth", 7); });
+  sim.ScheduleAt(60, [&] { tracer.Instant(t, "overflow"); });
+  sim.Run();
+  std::ostringstream os;
+  tracer.WriteChromeTrace(os);
+  std::string json = os.str();
+  EXPECT_NE(json.find("\"ph\": \"C\""), std::string::npos);
+  EXPECT_NE(json.find("{\"value\": 7}"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"i\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace kafkadirect

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Builds the common + sim + obs test binaries under UBSan alone (the "ubsan"
+# CMake preset, RelWithDebInfo so the optimizer is on) and runs them. The
+# optimized build catches undefined behaviour that only the optimizer
+# exploits — signed-overflow folding in the log-linear bucket math, shift
+# widths in BucketIndex/BucketUpperBound, and misaligned loads in the SIMD
+# CRC32C kernels — which the Debug-mode asan preset can miss.
+#
+# Usage: tools/check_ubsan.sh
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="$ROOT/build-ubsan"
+
+cmake --preset ubsan -S "$ROOT" >/dev/null
+cmake --build "$BUILD_DIR" -j"$(nproc)" --target common_test sim_test obs_test
+
+export UBSAN_OPTIONS=print_stacktrace=1:halt_on_error=1
+
+"$BUILD_DIR/tests/common_test"
+"$BUILD_DIR/tests/sim_test"
+"$BUILD_DIR/tests/obs_test"
+
+echo "ubsan: all common + sim + obs tests passed"

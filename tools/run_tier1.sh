@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Tier-1 gate: the checks every PR must keep green, in one command.
+#
+#   1. Release configure + build of everything (tests and benches).
+#   2. Full ctest suite.
+#   3. ASan/UBSan pass over the allocation-sensitive suites
+#      (tools/check_asan.sh).
+#   4. Optimized UBSan pass over the same plus the obs suite
+#      (tools/check_ubsan.sh).
+#
+# Usage: tools/run_tier1.sh [--fast]
+#   --fast  skip the sanitizer rebuilds (steps 3 and 4)
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="$ROOT/build"
+FAST=0
+[[ "${1:-}" == "--fast" ]] && FAST=1
+
+cmake --preset release -S "$ROOT" >/dev/null
+cmake --build "$BUILD_DIR" -j"$(nproc)"
+
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
+
+if [[ "$FAST" == 0 ]]; then
+  "$ROOT/tools/check_asan.sh"
+  "$ROOT/tools/check_ubsan.sh"
+fi
+
+echo "tier1: all checks passed"
