@@ -1,0 +1,160 @@
+// Client-scaling table (ISSUE 4): broker-side receive-buffer footprint and
+// simulator work as the producer count grows, with and without the shared
+// receive queue. With per-QP receive pools the broker's ctrl-recv memory
+// grows linearly in the number of connected clients; with the SRQ it is a
+// single arena sized for aggregate inbound rate — constant across the
+// sweep (asserted at 1024 clients). Shared-mode producers are used so any
+// number of clients can target one partition.
+//
+// Flags: --json=<path> writes the rows as JSON (the committed
+// BENCH_client_scaling.baseline.json was produced this way).
+#include <chrono>
+#include <cstring>
+#include <fstream>
+
+#include "harness/harness.h"
+#include "sim/awaitable.h"
+
+namespace kafkadirect {
+namespace bench {
+namespace {
+
+constexpr int kRecordsPerClient = 4;
+constexpr int kRecordSize = 256;
+
+struct Point {
+  int clients = 0;
+  bool srq = false;
+  uint64_t ctrl_recv_buf_bytes = 0;
+  uint64_t events = 0;
+  uint64_t records = 0;
+  double host_ns_per_op = 0;
+};
+
+sim::Co<void> Client(harness::TestCluster* cluster,
+                     kafka::TopicPartitionId tp, int* connected,
+                     sim::Event* go, int* done) {
+  net::NodeId node = cluster->AddClientNode("p");
+  kd::RdmaProducer producer(
+      cluster->sim(), cluster->fabric(), cluster->tcp(), node,
+      kd::RdmaProducerConfig{.exclusive = false, .max_inflight = 2});
+  KD_CHECK_OK(co_await producer.Connect(cluster->Leader(tp), tp));
+  (*connected)++;
+  co_await go->Wait();
+  std::string v(kRecordSize, 's');
+  for (int i = 0; i < kRecordsPerClient; i++) {
+    KD_CHECK_OK(co_await producer.ProduceAsync(Slice("k", 1), Slice(v)));
+  }
+  KD_CHECK_OK(co_await producer.Flush());
+  (*done)++;
+}
+
+Point RunPoint(int clients, bool use_srq) {
+  harness::DeploymentConfig deploy;
+  deploy.broker.rdma_produce = true;
+  deploy.broker.use_srq = use_srq;
+  deploy.broker.cq_poll_batch = use_srq ? 16 : 1;
+  harness::TestCluster cluster(deploy);
+  static int topic_id = 0;
+  std::string topic = "scale-" + std::to_string(topic_id++);
+  KD_CHECK_OK(cluster.CreateTopic(topic, 1, 1));
+  kafka::TopicPartitionId tp{topic, 0};
+
+  auto start = std::chrono::steady_clock::now();
+  int connected = 0;
+  int done = 0;
+  sim::Event go(cluster.sim());
+  for (int c = 0; c < clients; c++) {
+    sim::Spawn(cluster.sim(), Client(&cluster, tp, &connected, &go, &done));
+  }
+  // Snapshot the broker's receive-buffer footprint while every client is
+  // connected (per-QP pools are released again as QPs die).
+  cluster.RunUntilCount(&connected, clients);
+  uint64_t ctrl_bytes = cluster.Leader(tp)->ctrl_recv_buf_bytes();
+  go.Set();
+  cluster.RunUntilCount(&done, clients);
+  auto elapsed = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+
+  Point p;
+  p.clients = clients;
+  p.srq = use_srq;
+  p.ctrl_recv_buf_bytes = ctrl_bytes;
+  p.events = cluster.sim().events_processed();
+  p.records = static_cast<uint64_t>(clients) * kRecordsPerClient;
+  p.host_ns_per_op =
+      static_cast<double>(elapsed) / static_cast<double>(p.records);
+  return p;
+}
+
+void Run(const std::string& json_path) {
+  harness::PrintFigureHeader(
+      "Client scaling", "broker ctrl-recv bytes vs producer count",
+      {"clients", "srq", "ctrl_recv_KiB", "sim_events", "host_ns_per_op"});
+  std::vector<Point> points;
+  for (int clients : {8, 64, 256, 1024}) {
+    for (bool use_srq : {false, true}) {
+      Point p = RunPoint(clients, use_srq);
+      points.push_back(p);
+      harness::PrintRow(
+          {std::to_string(p.clients), p.srq ? "on" : "off",
+           harness::Cell(p.ctrl_recv_buf_bytes / 1024.0, 1),
+           std::to_string(p.events), harness::Cell(p.host_ns_per_op, 0)});
+    }
+  }
+
+  // The acceptance criterion: with the SRQ the broker's ctrl-recv memory
+  // is a function of the arena size, not the client count.
+  uint64_t srq_small = 0, srq_large = 0, raw_small = 0, raw_large = 0;
+  for (const Point& p : points) {
+    if (p.srq && p.clients == 8) srq_small = p.ctrl_recv_buf_bytes;
+    if (p.srq && p.clients == 1024) srq_large = p.ctrl_recv_buf_bytes;
+    if (!p.srq && p.clients == 8) raw_small = p.ctrl_recv_buf_bytes;
+    if (!p.srq && p.clients == 1024) raw_large = p.ctrl_recv_buf_bytes;
+  }
+  KD_CHECK(srq_large == srq_small)
+      << "SRQ ctrl-recv bytes must be independent of client count: "
+      << srq_small << " @8 vs " << srq_large << " @1024";
+  std::printf(
+      "\nper-QP pools grow %.0fx from 8 to 1024 clients; the SRQ arena "
+      "stays at %.1f KiB.\n",
+      static_cast<double>(raw_large) /
+          static_cast<double>(raw_small == 0 ? 1 : raw_small),
+      srq_large / 1024.0);
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << "{\n  \"benchmarks\": [\n";
+    for (size_t i = 0; i < points.size(); i++) {
+      const Point& p = points[i];
+      out << "    {\"name\": \"client_scaling/" << p.clients << "/srq_"
+          << (p.srq ? "on" : "off")
+          << "\", \"clients\": " << p.clients
+          << ", \"srq\": " << (p.srq ? "true" : "false")
+          << ", \"ctrl_recv_buf_bytes\": " << p.ctrl_recv_buf_bytes
+          << ", \"sim_events\": " << p.events
+          << ", \"records\": " << p.records
+          << ", \"host_ns_per_op\": " << p.host_ns_per_op << "}"
+          << (i + 1 < points.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace kafkadirect
+
+int main(int argc, char** argv) {
+  kafkadirect::harness::InitObsFromArgs(argc, argv);
+  std::string json_path;
+  const std::string kJson = "--json=";
+  for (int i = 1; i < argc; i++) {
+    std::string arg = argv[i];
+    if (arg.rfind(kJson, 0) == 0) json_path = arg.substr(kJson.size());
+  }
+  kafkadirect::bench::Run(json_path);
+  return 0;
+}

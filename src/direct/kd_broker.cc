@@ -71,6 +71,19 @@ KafkaDirectBroker::~KafkaDirectBroker() = default;
 Status KafkaDirectBroker::Start() {
   KD_RETURN_IF_ERROR(Broker::Start());
   rdma_cq_ = rnic_.CreateCq();
+  if (config_.use_srq) {
+    // One shared receive pool for every ctrl-message QP: broker recv
+    // memory is sized once here, independent of how many clients connect.
+    srq_ = rnic_.CreateSrq(config_.srq_depth);
+    srq_arena_.resize(static_cast<size_t>(srq_->max_wr()) * kCtrlMsgSize);
+    for (int i = 0; i < srq_->max_wr(); i++) {
+      KD_CHECK_OK(srq_->PostRecv(
+          static_cast<uint64_t>(i),
+          srq_arena_.data() + static_cast<size_t>(i) * kCtrlMsgSize,
+          kCtrlMsgSize));
+    }
+    ctrl_recv_buf_bytes_ = srq_arena_.size();
+  }
   sim::Spawn(sim_, RdmaPollerLoop());
   // Loopback QP pair so TCP produce requests to shared files can reserve
   // regions "by issuing an RDMA atomic to itself" (§4.2.2).
@@ -177,7 +190,8 @@ sim::Co<StatusOr<std::shared_ptr<rdma::QueuePair>>>
 KafkaDirectBroker::AcceptRdma(std::shared_ptr<rdma::QueuePair> client_qp) {
   // Out-of-band CM exchange: one request/response round trip.
   co_await sim::Delay(sim_, 2 * cost().link.propagation_ns + 20000);
-  auto qp = rnic_.CreateQp(rdma_cq_, rdma_cq_);
+  auto qp = srq_ != nullptr ? rnic_.CreateQp(rdma_cq_, rdma_cq_, srq_)
+                            : rnic_.CreateQp(rdma_cq_, rdma_cq_);
   KD_CO_RETURN_IF_ERROR(rdma::Connect(qp, client_qp));
   PostCtrlRecvs(qp, 256);
   rdma_qps_[qp->qp_num()] = qp;
@@ -187,14 +201,59 @@ KafkaDirectBroker::AcceptRdma(std::shared_ptr<rdma::QueuePair> client_qp) {
 
 void KafkaDirectBroker::PostCtrlRecvs(
     const std::shared_ptr<rdma::QueuePair>& qp, int n) {
+  // An SRQ-attached QP draws from the pool posted once in Start().
+  if (srq_ != nullptr) return;
   // Receives carry a small buffer so both immediate-only WriteWithImm and
-  // 24-byte control Sends can land on any broker QP.
+  // 24-byte control Sends can land on any broker QP. Buffers are sized to
+  // the 24-byte ctrl message, drawn from the broker buffer pool, and
+  // recycled when the QP dies.
+  QpRecvPool& pool = qp_recv_pools_[qp->qp_num()];
+  pool.bufs.reserve(pool.bufs.size() + static_cast<size_t>(n));
   for (int i = 0; i < n; i++) {
-    recv_bufs_.emplace_back(kCtrlMsgSize);
-    uint64_t wr_id = recv_bufs_.size() - 1;
-    KD_CHECK_OK(qp->PostRecv(wr_id, recv_bufs_[wr_id].data(),
+    uint64_t wr_id = pool.bufs.size();
+    pool.bufs.push_back(buf_pool_.Acquire(kCtrlMsgSize));
+    KD_CHECK_OK(qp->PostRecv(wr_id, pool.bufs[wr_id].data(),
                              kCtrlMsgSize));
+    ctrl_recv_buf_bytes_ += kCtrlMsgSize;
   }
+}
+
+uint8_t* KafkaDirectBroker::CtrlRecvBuf(const rdma::WorkCompletion& wc) {
+  if (srq_ != nullptr) {
+    size_t off = static_cast<size_t>(wc.wr_id) * kCtrlMsgSize;
+    if (off + kCtrlMsgSize > srq_arena_.size()) return nullptr;
+    return srq_arena_.data() + off;
+  }
+  auto it = qp_recv_pools_.find(wc.qp_num);
+  if (it == qp_recv_pools_.end()) return nullptr;  // QP already torn down
+  if (wc.wr_id >= it->second.bufs.size()) return nullptr;
+  return it->second.bufs[wc.wr_id].data();
+}
+
+void KafkaDirectBroker::RepostCtrlRecv(const rdma::WorkCompletion& wc,
+                                       rdma::QueuePair* qp) {
+  uint8_t* buf = CtrlRecvBuf(wc);
+  if (buf == nullptr) return;
+  if (srq_ != nullptr) {
+    (void)srq_->PostRecv(wc.wr_id, buf, kCtrlMsgSize);
+    return;
+  }
+  if (qp == nullptr) {
+    auto it = rdma_qps_.find(wc.qp_num);
+    if (it == rdma_qps_.end()) return;
+    qp = it->second.get();
+  }
+  (void)qp->PostRecv(wc.wr_id, buf, kCtrlMsgSize);
+}
+
+void KafkaDirectBroker::ReleaseQpRecvPool(uint32_t qp_num) {
+  auto it = qp_recv_pools_.find(qp_num);
+  if (it == qp_recv_pools_.end()) return;
+  for (auto& buf : it->second.bufs) {
+    ctrl_recv_buf_bytes_ -= kCtrlMsgSize;
+    buf_pool_.Release(std::move(buf));
+  }
+  qp_recv_pools_.erase(it);
 }
 
 sim::Co<void> KafkaDirectBroker::WatchQpFailure(
@@ -207,6 +266,7 @@ sim::Co<void> KafkaDirectBroker::WatchQpFailure(
       AbortFile(fs.get(), ErrorCode::kRdmaAccessDenied);
     }
   }
+  ReleaseQpRecvPool(qp->qp_num());
   rdma_qps_.erase(qp->qp_num());
 }
 
@@ -228,74 +288,104 @@ void KafkaDirectBroker::SendCtrl(uint32_t qp_num, const CtrlMsg& msg) {
   kd_obs_.ctrl_msgs->Increment();
 }
 
+void KafkaDirectBroker::SendCtrlBatch(uint32_t qp_num,
+                                      std::span<const CtrlMsg> msgs) {
+  auto it = rdma_qps_.find(qp_num);
+  if (it == rdma_qps_.end()) return;
+  // Chain the whole fan-out behind one doorbell; chunk so a burst never
+  // exceeds the QP's send-queue capacity.
+  constexpr size_t kChunk = 16;
+  std::vector<rdma::WorkRequest> wrs;
+  wrs.reserve(std::min(msgs.size(), kChunk));
+  for (size_t i = 0; i < msgs.size(); i += kChunk) {
+    wrs.clear();
+    for (size_t j = i; j < std::min(msgs.size(), i + kChunk); j++) {
+      rdma::WorkRequest wr;
+      wr.opcode = rdma::Opcode::kSend;
+      wr.signaled = false;
+      wr.send_inline = true;
+      msgs[j].EncodeTo(wr.inline_data);
+      wr.length = kCtrlMsgSize;
+      wrs.push_back(wr);
+    }
+    (void)it->second->PostSend(std::span<const rdma::WorkRequest>(wrs));
+    rdma_acks_sent_ += wrs.size();
+    kd_obs_.ctrl_msgs->Increment(wrs.size());
+  }
+}
+
 // ---------------------------------------------------------------------------
 // RDMA network module (§4.1): CQ poller feeding the shared request queue
 // ---------------------------------------------------------------------------
 
 sim::Co<void> KafkaDirectBroker::RdmaPollerLoop() {
+  // One poll-iteration charge per wakeup drains up to cq_poll_batch CQEs
+  // (ibv_poll_cq with num_entries > 1); with the default batch of 1 the
+  // event schedule is identical to per-CQE polling.
+  const size_t batch =
+      static_cast<size_t>(std::max(1, config_.cq_poll_batch));
+  std::vector<rdma::WorkCompletion> wcs(batch);
   while (true) {
-    auto wc = co_await rdma_cq_->Next();
-    if (!wc.has_value()) co_return;  // CQ destroyed/errored
+    size_t n = co_await rdma_cq_->NextBatch(wcs.data(), batch);
+    if (n == 0) co_return;  // CQ destroyed/errored
     co_await sim::Delay(sim_, cost().cpu.poll_iteration_ns);
-    if (!wc->ok()) continue;  // QP failure handled by watchers
-    if (wc->opcode == rdma::Opcode::kRecvWithImm) {
-      uint16_t file_id = ImmFileId(wc->imm_data);
-      uint16_t order = ImmOrder(wc->imm_data);
-      auto it = rdma_files_.find(file_id);
-      if (it != rdma_files_.end() && !it->second->shared &&
-          !it->second->replica) {
-        // Exclusive mode: the produce module assigns arrival order so the
-        // request queue's multi-worker processing stays sequential per
-        // file (§4.2.2 in-order completion processing).
-        order = it->second->arrival_seq++;
+    for (size_t i = 0; i < n; i++) {
+      HandleRdmaCompletion(wcs[i]);
+    }
+  }
+}
+
+void KafkaDirectBroker::HandleRdmaCompletion(const rdma::WorkCompletion& wc) {
+  if (!wc.ok()) return;  // QP failure handled by watchers
+  if (wc.opcode == rdma::Opcode::kRecvWithImm) {
+    uint16_t file_id = ImmFileId(wc.imm_data);
+    uint16_t order = ImmOrder(wc.imm_data);
+    auto it = rdma_files_.find(file_id);
+    if (it != rdma_files_.end() && !it->second->shared &&
+        !it->second->replica) {
+      // Exclusive mode: the produce module assigns arrival order so the
+      // request queue's multi-worker processing stays sequential per
+      // file (§4.2.2 in-order completion processing).
+      order = it->second->arrival_seq++;
+    }
+    // Re-post the consumed receive.
+    RepostCtrlRecv(wc);
+    Request req;
+    req.file_id = file_id;
+    req.order = order;
+    req.byte_len = wc.byte_len;
+    req.qp_num = wc.qp_num;
+    EnqueueRequest(std::move(req));  // step 2 in Fig. 2
+  } else if (wc.opcode == rdma::Opcode::kRecv) {
+    uint8_t* buf = CtrlRecvBuf(wc);
+    if (buf == nullptr) return;  // QP torn down; buffers already recycled
+    CtrlMsg msg = CtrlMsg::DecodeFrom(buf);
+    RepostCtrlRecv(wc);
+    if (msg.kind == CtrlKind::kProduceNotify) {
+      // Write+Send notification (§4.2.2): the Send is ordered behind the
+      // data write, so the records are already in the file.
+      uint16_t file_id = static_cast<uint16_t>(msg.aux);
+      uint16_t order = msg.order;
+      auto fit = rdma_files_.find(file_id);
+      if (fit != rdma_files_.end() && !fit->second->shared &&
+          !fit->second->replica) {
+        order = fit->second->arrival_seq++;
       }
-      // Re-post the consumed receive.
-      auto qp_it = rdma_qps_.find(wc->qp_num);
-      if (qp_it != rdma_qps_.end()) {
-        (void)qp_it->second->PostRecv(wc->wr_id,
-                                      recv_bufs_[wc->wr_id].data(),
-                                      kCtrlMsgSize);
-      }
-      Request req;
-      req.file_id = file_id;
-      req.order = order;
-      req.byte_len = wc->byte_len;
-      req.qp_num = wc->qp_num;
-      EnqueueRequest(std::move(req));  // step 2 in Fig. 2
-    } else if (wc->opcode == rdma::Opcode::kRecv) {
-      CtrlMsg msg = CtrlMsg::DecodeFrom(recv_bufs_[wc->wr_id].data());
-      auto qp_it = rdma_qps_.find(wc->qp_num);
-      if (qp_it != rdma_qps_.end()) {
-        (void)qp_it->second->PostRecv(wc->wr_id,
-                                      recv_bufs_[wc->wr_id].data(),
-                                      kCtrlMsgSize);
-      }
-      if (msg.kind == CtrlKind::kProduceNotify) {
-        // Write+Send notification (§4.2.2): the Send is ordered behind the
-        // data write, so the records are already in the file.
-        uint16_t file_id = static_cast<uint16_t>(msg.aux);
-        uint16_t order = msg.order;
-        auto fit = rdma_files_.find(file_id);
-        if (fit != rdma_files_.end() && !fit->second->shared &&
-            !fit->second->replica) {
-          order = fit->second->arrival_seq++;
-        }
-        Request produce_req;
-        produce_req.file_id = file_id;
-        produce_req.order = order;
-        produce_req.byte_len = static_cast<uint32_t>(msg.value);
-        produce_req.qp_num = wc->qp_num;
-        EnqueueRequest(std::move(produce_req));
-      } else if (msg.kind == CtrlKind::kHwmUpdate) {
-        // Leader -> follower high-watermark propagation on the push path.
-        auto fit = rdma_files_.find(static_cast<uint16_t>(msg.aux));
-        if (fit != rdma_files_.end()) {
-          PartitionState* ps = fit->second->ps;
-          if (msg.value > ps->log.high_watermark()) {
-            ps->log.SetHighWatermark(msg.value);
-            ps->hwm_advanced.Pulse();
-            OnHwmAdvanced(*ps);
-          }
+      Request produce_req;
+      produce_req.file_id = file_id;
+      produce_req.order = order;
+      produce_req.byte_len = static_cast<uint32_t>(msg.value);
+      produce_req.qp_num = wc.qp_num;
+      EnqueueRequest(std::move(produce_req));
+    } else if (msg.kind == CtrlKind::kHwmUpdate) {
+      // Leader -> follower high-watermark propagation on the push path.
+      auto fit = rdma_files_.find(static_cast<uint16_t>(msg.aux));
+      if (fit != rdma_files_.end()) {
+        PartitionState* ps = fit->second->ps;
+        if (msg.value > ps->log.high_watermark()) {
+          ps->log.SetHighWatermark(msg.value);
+          ps->hwm_advanced.Pulse();
+          OnHwmAdvanced(*ps);
         }
       }
     }
@@ -378,13 +468,30 @@ void KafkaDirectBroker::AbortFile(RdmaFileState* fs, ErrorCode error) {
   // file again, §4.2.2).
   if (fs->mr != nullptr) (void)rnic_.DeregisterMemory(fs->mr);
   if (fs->atomic_mr != nullptr) (void)rnic_.DeregisterMemory(fs->atomic_mr);
-  for (auto& [order, pending] : fs->pending) {
-    if (pending.qp_num != 0) {
+  if (config_.rdma_postlist) {
+    // Group the abort fan-out by QP so each producer gets one chained
+    // postlist instead of one doorbell per pending ack.
+    std::map<uint32_t, std::vector<CtrlMsg>> by_qp;
+    for (auto& [order, pending] : fs->pending) {
+      if (pending.qp_num == 0) continue;
       CtrlMsg msg;
       msg.kind = CtrlKind::kProduceAck;
       msg.order = order;
       msg.error = static_cast<uint16_t>(error);
-      SendCtrl(pending.qp_num, msg);
+      by_qp[pending.qp_num].push_back(msg);
+    }
+    for (auto& [qp_num, msgs] : by_qp) {
+      SendCtrlBatch(qp_num, msgs);
+    }
+  } else {
+    for (auto& [order, pending] : fs->pending) {
+      if (pending.qp_num != 0) {
+        CtrlMsg msg;
+        msg.kind = CtrlKind::kProduceAck;
+        msg.order = order;
+        msg.error = static_cast<uint16_t>(error);
+        SendCtrl(pending.qp_num, msg);
+      }
     }
   }
   fs->pending.clear();
@@ -749,14 +856,14 @@ sim::Co<void> KafkaDirectBroker::PushReplicatorLoop(
   s->ctrl = conn_or.value();
   s->send_cq = rnic_.CreateCq();
   s->recv_cq = rnic_.CreateCq();
-  s->qp = rnic_.CreateQp(s->send_cq, s->recv_cq);
+  // With the SRQ enabled, credit-return receives also come from the shared
+  // pool — the replication QP just binds its own CQ for the drainer.
+  s->qp = srq_ != nullptr ? rnic_.CreateQp(s->send_cq, s->recv_cq, srq_)
+                          : rnic_.CreateQp(s->send_cq, s->recv_cq);
   auto accepted = co_await follower->AcceptRdma(s->qp);
   if (!accepted.ok()) co_return;
-  // Post receives for credit-return messages.
-  for (int i = 0; i < 512; i++) {
-    s->ctrl_bufs.emplace_back(kCtrlMsgSize);
-    KD_CHECK_OK(s->qp->PostRecv(i, s->ctrl_bufs.back().data(), kCtrlMsgSize));
-  }
+  // Receive buffers for credit-return messages (no-op when SRQ-attached).
+  PostCtrlRecvs(s->qp, 512);
   Status hs = co_await PushHandshake(s, ps, 0);
   if (!hs.ok()) co_return;
   s->seg_index = static_cast<int>(ps->log.segments().size()) - 1;
@@ -810,7 +917,28 @@ sim::Co<void> KafkaDirectBroker::PushReplicatorLoop(
     wr.rkey = s->rkey;
     wr.imm_data = EncodeImm(s->next_order++, s->file_id);
     while (true) {
-      Status st = s->qp->PostSend(wr);
+      Status st;
+      int64_t hwm_now = ps->log.high_watermark();
+      if (config_.rdma_postlist && hwm_now != last_hwm_sent) {
+        // Chain the data write and the HWM-update Send into one postlist:
+        // both leave behind a single doorbell, and RC ordering still
+        // delivers the Send after the write has landed.
+        CtrlMsg msg;
+        msg.kind = CtrlKind::kHwmUpdate;
+        msg.value = hwm_now;
+        msg.aux = s->file_id;
+        rdma::WorkRequest chain[2];
+        chain[0] = wr;
+        chain[1].opcode = rdma::Opcode::kSend;
+        chain[1].signaled = false;
+        chain[1].send_inline = true;
+        msg.EncodeTo(chain[1].inline_data);
+        chain[1].length = kCtrlMsgSize;
+        st = s->qp->PostSend(std::span<const rdma::WorkRequest>(chain, 2));
+        if (st.ok()) last_hwm_sent = hwm_now;
+      } else {
+        st = s->qp->PostSend(wr);
+      }
       if (st.ok()) break;
       if (st.IsDisconnected()) co_return;
       co_await sim::Delay(sim_, 1000);  // send queue full; retry shortly
@@ -836,23 +964,34 @@ sim::Co<void> KafkaDirectBroker::PushReplicatorLoop(
 
 sim::Co<void> KafkaDirectBroker::PushCreditDrainer(PushSession* session,
                                                    PartitionState* ps) {
+  const size_t batch =
+      static_cast<size_t>(std::max(1, config_.cq_poll_batch));
+  std::vector<rdma::WorkCompletion> wcs(batch);
   while (true) {
-    auto wc = co_await session->recv_cq->Next();
-    if (!wc.has_value()) co_return;
-    if (!wc->ok()) co_return;
-    if (wc->opcode != rdma::Opcode::kRecv) continue;
-    CtrlMsg msg = CtrlMsg::DecodeFrom(
-        session->ctrl_bufs[wc->wr_id].data());
-    (void)session->qp->PostRecv(wc->wr_id,
-                                session->ctrl_bufs[wc->wr_id].data(),
-                                kCtrlMsgSize);
-    if (msg.kind != CtrlKind::kCredit) continue;
-    session->credits->Release(msg.aux);
-    // The credit message carries the follower's log end offset.
-    auto it = ps->follower_leo.find(session->follower->id());
-    if (it != ps->follower_leo.end() && msg.value > it->second) {
-      it->second = msg.value;
-      AdvanceHwm(ps);
+    size_t n = co_await session->recv_cq->NextBatch(wcs.data(), batch);
+    if (n == 0) {
+      ReleaseQpRecvPool(session->qp->qp_num());
+      co_return;
+    }
+    for (size_t i = 0; i < n; i++) {
+      const rdma::WorkCompletion& wc = wcs[i];
+      if (!wc.ok()) {
+        ReleaseQpRecvPool(session->qp->qp_num());
+        co_return;
+      }
+      if (wc.opcode != rdma::Opcode::kRecv) continue;
+      uint8_t* buf = CtrlRecvBuf(wc);
+      if (buf == nullptr) continue;
+      CtrlMsg msg = CtrlMsg::DecodeFrom(buf);
+      RepostCtrlRecv(wc, session->qp.get());
+      if (msg.kind != CtrlKind::kCredit) continue;
+      session->credits->Release(msg.aux);
+      // The credit message carries the follower's log end offset.
+      auto it = ps->follower_leo.find(session->follower->id());
+      if (it != ps->follower_leo.end() && msg.value > it->second) {
+        it->second = msg.value;
+        AdvanceHwm(ps);
+      }
     }
   }
 }

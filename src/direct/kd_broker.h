@@ -16,15 +16,16 @@
 //    each mutable file's last readable byte.
 #pragma once
 
-#include <deque>
 #include <map>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "direct/control.h"
 #include "kafka/broker.h"
 #include "rdma/completion_queue.h"
 #include "rdma/queue_pair.h"
+#include "rdma/srq.h"
 
 namespace kafkadirect {
 namespace kd {
@@ -83,7 +84,6 @@ struct PushSession {
   int seg_index = 0;                 // follower segment this maps
   uint16_t next_order = 0;
   std::unique_ptr<sim::Semaphore> credits;
-  std::vector<std::vector<uint8_t>> ctrl_bufs;  // recv buffers for credits
   std::unique_ptr<sim::Channel<ReplEntry>> queue;  // committed ranges
 };
 
@@ -158,6 +158,15 @@ class KafkaDirectBroker : public kafka::Broker {
   /// that is the point of §5.3).
   uint64_t rdma_acks_sent() const { return rdma_acks_sent_; }
 
+  /// Bytes currently committed to ctrl-message receive buffers: the SRQ
+  /// arena when use_srq, otherwise the sum of per-QP pools. The
+  /// tbl_client_scaling bench asserts this is client-count-independent
+  /// with the SRQ enabled.
+  uint64_t ctrl_recv_buf_bytes() const { return ctrl_recv_buf_bytes_; }
+
+  /// The broker's shared receive queue (nullptr unless config.use_srq).
+  rdma::SharedReceiveQueue* srq() const { return srq_.get(); }
+
  protected:
   sim::Co<void> HandleExtendedRequest(Request req) override;
 
@@ -182,6 +191,22 @@ class KafkaDirectBroker : public kafka::Broker {
   sim::Co<void> WatchQpFailure(std::shared_ptr<rdma::QueuePair> qp);
   void PostCtrlRecvs(const std::shared_ptr<rdma::QueuePair>& qp, int n);
   void SendCtrl(uint32_t qp_num, const CtrlMsg& msg);
+  /// Fans `msgs` out to one QP as a single-doorbell postlist (chunked to
+  /// the send-queue capacity).
+  void SendCtrlBatch(uint32_t qp_num, std::span<const CtrlMsg> msgs);
+  /// Dispatches one CQE from the shared broker CQ (synchronous — the
+  /// poller drains whole batches between wakeups).
+  void HandleRdmaCompletion(const rdma::WorkCompletion& wc);
+  /// Buffer an inbound ctrl message landed in: an SRQ arena slot when
+  /// use_srq, else the QP's pooled buffer. nullptr once the QP is gone.
+  uint8_t* CtrlRecvBuf(const rdma::WorkCompletion& wc);
+  /// Returns the consumed receive buffer to the SRQ / the QP's receive
+  /// queue. `qp` overrides the rdma_qps_ lookup (leader-side replication
+  /// QPs are not in that map).
+  void RepostCtrlRecv(const rdma::WorkCompletion& wc,
+                      rdma::QueuePair* qp = nullptr);
+  /// Recycles a dead QP's ctrl receive buffers through buf_pool_.
+  void ReleaseQpRecvPool(uint32_t qp_num);
 
   // --- RDMA produce module ---
   KdPartitionExt* Ext(kafka::PartitionState& ps);
@@ -237,7 +262,17 @@ class KafkaDirectBroker : public kafka::Broker {
   std::map<const net::MessageStream*, std::unique_ptr<ConsumerSession>>
       consumer_sessions_;
   std::map<uint32_t, std::unique_ptr<ConsumeGrant>> consume_grants_;
-  std::deque<std::vector<uint8_t>> recv_bufs_;
+  /// Ctrl-message receive buffers. With use_srq, one arena sized to the
+  /// SRQ (wr_id = slot index) serves every QP; otherwise each QP gets a
+  /// pool of kCtrlMsgSize buffers recycled through buf_pool_ when the QP
+  /// dies (wr_id = per-QP index).
+  std::shared_ptr<rdma::SharedReceiveQueue> srq_;
+  std::vector<uint8_t> srq_arena_;
+  struct QpRecvPool {
+    std::vector<std::vector<uint8_t>> bufs;
+  };
+  std::map<uint32_t, QpRecvPool> qp_recv_pools_;
+  uint64_t ctrl_recv_buf_bytes_ = 0;
   uint64_t rdma_acks_sent_ = 0;
   /// kd.direct.* instruments: zero-copy produce byte count (the paper's
   /// headline claim, checked by the obs invariants test), consume-slot

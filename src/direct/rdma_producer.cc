@@ -1,6 +1,8 @@
 #include "direct/rdma_producer.h"
 
 #include <algorithm>
+#include <span>
+#include <vector>
 
 #include "sim/awaitable.h"
 
@@ -49,11 +51,16 @@ sim::Co<Status> RdmaProducer::ConnectImpl(KafkaDirectBroker* leader,
   if (!broker_qp.ok()) co_return broker_qp.status();
   broker_qp_num_ = broker_qp.value()->qp_num();
   ack_bufs_.clear();
+  std::vector<rdma::RecvRequest> recvs(kAckRecvDepth);
   for (int i = 0; i < kAckRecvDepth; i++) {
     ack_bufs_.emplace_back(kCtrlMsgSize);
-    KD_CO_RETURN_IF_ERROR(
-        qp_->PostRecv(i, ack_bufs_.back().data(), kCtrlMsgSize));
+    recvs[i].wr_id = static_cast<uint64_t>(i);
+    recvs[i].buf = ack_bufs_.back().data();
+    recvs[i].len = kCtrlMsgSize;
   }
+  // One postlist (one doorbell) instead of kAckRecvDepth separate posts.
+  KD_CO_RETURN_IF_ERROR(
+      qp_->PostRecv(std::span<const rdma::RecvRequest>(recvs)));
   sim::Spawn(sim_, RecvAckLoop(alive_, recv_cq_));
   sim::Spawn(sim_, SendCqDrainer(alive_, send_cq_));
   co_return co_await RequestAccess(0);
@@ -282,80 +289,98 @@ sim::Co<void> RdmaProducer::SenderStage(sim::Simulator& sim,
   }
 }
 
+void RdmaProducer::FailAllPending() {
+  // Connection torn down: fail everything outstanding.
+  for (auto& pending : pending_) {
+    pending->ack.error =
+        static_cast<uint16_t>(ErrorCode::kRdmaAccessDenied);
+    pending->done->Set();
+    window_.Release();
+  }
+  pending_.clear();
+  for (auto& [order, pending] : pending_by_order_) {
+    pending->ack.error =
+        static_cast<uint16_t>(ErrorCode::kRdmaAccessDenied);
+    pending->done->Set();
+    window_.Release();
+  }
+  pending_by_order_.clear();
+}
+
+void RdmaProducer::HandleAck(const rdma::WorkCompletion& wc) {
+  CtrlMsg msg = CtrlMsg::DecodeFrom(ack_bufs_[wc.wr_id].data());
+  (void)qp_->PostRecv(wc.wr_id, ack_bufs_[wc.wr_id].data(), kCtrlMsgSize);
+  if (msg.kind != CtrlKind::kProduceAck) return;
+  std::shared_ptr<Pending> pending;
+  if (config_.exclusive) {
+    // Exclusive acks arrive in submission order (RC in-order delivery +
+    // in-order commit processing).
+    if (pending_.empty()) return;
+    pending = pending_.front();
+    pending_.pop_front();
+  } else {
+    auto it = pending_by_order_.find(msg.order);
+    if (it == pending_by_order_.end()) return;
+    pending = it->second;
+    pending_by_order_.erase(it);
+  }
+  pending->ack = msg;
+  if (msg.error == 0) {
+    acked_records_++;
+    acked_bytes_ += pending->payload_bytes;
+    // Client-observed round trip includes the blocking wakeup.
+    latencies_.Add(sim_.Now() - pending->sent_at +
+                   fabric_.cost().cpu.wakeup_ns);
+  } else {
+    errors_++;
+  }
+  window_.Release();
+  pending->done->Set();
+}
+
 sim::Co<void> RdmaProducer::RecvAckLoop(
     std::shared_ptr<bool> alive, std::shared_ptr<rdma::CompletionQueue> cq) {
+  const size_t batch = static_cast<size_t>(std::max(1, config_.poll_batch));
+  std::vector<rdma::WorkCompletion> wcs(batch);
   while (*alive) {
-    auto wc = co_await cq->Next();
-    if (!*alive || !wc.has_value()) co_return;
-    if (!wc->ok()) {
-      // Connection torn down: fail everything outstanding.
-      for (auto& pending : pending_) {
-        pending->ack.error =
-            static_cast<uint16_t>(ErrorCode::kRdmaAccessDenied);
-        pending->done->Set();
-        window_.Release();
+    size_t n = co_await cq->NextBatch(wcs.data(), batch);
+    if (!*alive || n == 0) co_return;
+    for (size_t i = 0; i < n; i++) {
+      const rdma::WorkCompletion& wc = wcs[i];
+      if (!wc.ok()) {
+        FailAllPending();
+        co_return;
       }
-      pending_.clear();
-      for (auto& [order, pending] : pending_by_order_) {
-        pending->ack.error =
-            static_cast<uint16_t>(ErrorCode::kRdmaAccessDenied);
-        pending->done->Set();
-        window_.Release();
-      }
-      pending_by_order_.clear();
-      co_return;
+      if (wc.opcode != rdma::Opcode::kRecv) continue;
+      co_await sim::Delay(sim_, fabric_.cost().cpu.poll_iteration_ns);
+      if (!*alive) co_return;
+      HandleAck(wc);
     }
-    if (wc->opcode != rdma::Opcode::kRecv) continue;
-    co_await sim::Delay(sim_, fabric_.cost().cpu.poll_iteration_ns);
-    CtrlMsg msg = CtrlMsg::DecodeFrom(ack_bufs_[wc->wr_id].data());
-    (void)qp_->PostRecv(wc->wr_id, ack_bufs_[wc->wr_id].data(),
-                        kCtrlMsgSize);
-    if (msg.kind != CtrlKind::kProduceAck) continue;
-    std::shared_ptr<Pending> pending;
-    if (config_.exclusive) {
-      // Exclusive acks arrive in submission order (RC in-order delivery +
-      // in-order commit processing).
-      if (pending_.empty()) continue;
-      pending = pending_.front();
-      pending_.pop_front();
-    } else {
-      auto it = pending_by_order_.find(msg.order);
-      if (it == pending_by_order_.end()) continue;
-      pending = it->second;
-      pending_by_order_.erase(it);
-    }
-    pending->ack = msg;
-    if (msg.error == 0) {
-      acked_records_++;
-      acked_bytes_ += pending->payload_bytes;
-      // Client-observed round trip includes the blocking wakeup.
-      latencies_.Add(sim_.Now() - pending->sent_at +
-                     fabric_.cost().cpu.wakeup_ns);
-    } else {
-      errors_++;
-    }
-    window_.Release();
-    pending->done->Set();
   }
 }
 
 sim::Co<void> RdmaProducer::SendCqDrainer(
     std::shared_ptr<bool> alive, std::shared_ptr<rdma::CompletionQueue> cq) {
+  const size_t batch = static_cast<size_t>(std::max(1, config_.poll_batch));
+  std::vector<rdma::WorkCompletion> wcs(batch);
   while (*alive) {
-    auto wc = co_await cq->Next();
-    if (!*alive || !wc.has_value()) co_return;
-    if (wc->opcode == rdma::Opcode::kFetchAdd) {
-      auto it = faa_waiters_.find(wc->wr_id);
-      if (it != faa_waiters_.end()) {
-        if (!wc->ok()) faa_failed_ = true;
-        it->second->Set();
+    size_t n = co_await cq->NextBatch(wcs.data(), batch);
+    if (!*alive || n == 0) co_return;
+    for (size_t i = 0; i < n; i++) {
+      const rdma::WorkCompletion& wc = wcs[i];
+      if (wc.opcode == rdma::Opcode::kFetchAdd) {
+        auto it = faa_waiters_.find(wc.wr_id);
+        if (it != faa_waiters_.end()) {
+          if (!wc.ok()) faa_failed_ = true;
+          it->second->Set();
+        }
+        continue;
       }
-      continue;
-    }
-    if (!wc->ok()) {
-      // A write failed (revoked access / disconnect): the RecvAckLoop
-      // error path performs the full teardown.
-      errors_++;
+      if (!wc.ok()) {
+        // A write failed (revoked access / disconnect): the RecvAckLoop
+        // error path performs the full teardown.
+        errors_++;
+      }
     }
   }
 }

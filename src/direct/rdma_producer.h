@@ -33,6 +33,10 @@ struct RdmaProducerConfig {
   /// paper's pick, lowest latency); true = a plain RDMA Write followed by
   /// a Send carrying the metadata (supports >32 bits of metadata).
   bool write_send_notification = false;
+  /// Max completions drained per CQ wakeup in the ack/send-CQ loops.
+  /// 1 (default) polls one CQE per wakeup and is schedule-identical to the
+  /// pre-batching behaviour; >1 amortizes the wakeup over a batch.
+  int poll_batch = 1;
 };
 
 class RdmaProducer {
@@ -107,6 +111,10 @@ class RdmaProducer {
                             std::shared_ptr<rdma::CompletionQueue> cq);
   sim::Co<void> SendCqDrainer(std::shared_ptr<bool> alive,
                               std::shared_ptr<rdma::CompletionQueue> cq);
+  /// Fails all outstanding produces (CQ error teardown).
+  void FailAllPending();
+  /// Decodes one ack CQE, reposts its recv buffer, resolves the pending.
+  void HandleAck(const rdma::WorkCompletion& wc);
 
   sim::Simulator& sim_;
   net::Fabric& fabric_;

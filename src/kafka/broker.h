@@ -58,6 +58,21 @@ struct BrokerConfig {
   uint32_t push_replication_credits = 64;
   uint64_t replication_max_batch_bytes = 1024;  // paper's chosen default
 
+  // --- Many-client scalability levers (DESIGN.md §10). All default off /
+  // 1 so the baseline event schedule and golden traces are unchanged. ---
+
+  /// Serve all ctrl-message receives from one SharedReceiveQueue instead
+  /// of per-QP receive pools; broker recv-buffer memory becomes O(pool)
+  /// instead of O(clients).
+  bool use_srq = false;
+  /// SRQ capacity in WRs; <= 0 takes the cost model's max_srq_wr.
+  int srq_depth = 0;
+  /// Max completions drained per poller wakeup (1 = per-CQE polling).
+  int cq_poll_batch = 1;
+  /// Chain multi-WR control fan-out (ack bursts, replication write +
+  /// HWM update) into single-doorbell postlists.
+  bool rdma_postlist = false;
+
   // Shared RDMA produce: how long request i waits for request i-1 before
   // the broker aborts and revokes access (§4.2.2).
   sim::TimeNs shared_produce_hole_timeout = 5 * 1000 * 1000;  // 5 ms

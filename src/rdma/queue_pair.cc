@@ -93,7 +93,8 @@ void CompletionQueue::DetachQp(QueuePair* qp) {
 }
 
 QueuePair::QueuePair(Rnic* rnic, std::shared_ptr<CompletionQueue> send_cq,
-                     std::shared_ptr<CompletionQueue> recv_cq)
+                     std::shared_ptr<CompletionQueue> recv_cq,
+                     std::shared_ptr<SharedReceiveQueue> srq)
     : rnic_(rnic),
       sim_(rnic->simulator()),
       send_cq_(std::move(send_cq)),
@@ -101,6 +102,7 @@ QueuePair::QueuePair(Rnic* rnic, std::shared_ptr<CompletionQueue> send_cq,
       qp_num_(NextQpNum()),
       send_ch_(rnic->simulator()),
       deliveries_(rnic->simulator()),
+      srq_(std::move(srq)),
       error_event_(rnic->simulator()) {
   send_cq_->AttachQp(this);
   if (recv_cq_ != send_cq_) recv_cq_->AttachQp(this);
@@ -122,6 +124,7 @@ QueuePair::QueuePair(Rnic* rnic, std::shared_ptr<CompletionQueue> send_cq,
   agg_counters_.recv = ob.metrics.GetCounter("kd.rdma.ops.recv");
   agg_counters_.inline_sends = ob.metrics.GetCounter("kd.rdma.inline_sends");
   agg_counters_.bytes = ob.metrics.GetCounter("kd.rdma.bytes_posted");
+  postlist_hist_ = ob.metrics.GetHistogram("kd.rdma.postlist_len");
   tracer_ = &ob.tracer;
   if (tracer_->enabled()) {
     trace_track_ =
@@ -197,17 +200,106 @@ Status QueuePair::PostSend(const WorkRequest& wr) {
   return Status::OK();
 }
 
+Status QueuePair::PostSend(std::span<const WorkRequest> wrs) {
+  if (wrs.empty()) return Status::OK();
+  if (state_ != State::kConnected) {
+    return Status::Disconnected("PostSend: QP not connected");
+  }
+  if (outstanding_ + wrs.size() >
+      static_cast<size_t>(rnic_->cost().rdma.max_send_wr)) {
+    return Status::ResourceExhausted(
+        "PostSend: postlist exceeds send queue capacity");
+  }
+  // All-or-nothing: validate the whole chain before posting any of it.
+  for (const WorkRequest& wr : wrs) {
+    if (IsAtomic(wr.opcode) && wr.remote_addr % 8 != 0) {
+      return Status::InvalidArgument("atomic target must be 8-byte aligned");
+    }
+    if (wr.send_inline) {
+      if (!CanInline(wr.opcode)) {
+        return Status::InvalidArgument("inline only valid for sends/writes");
+      }
+      if (wr.length > WorkRequest::kMaxInlineData) {
+        return Status::InvalidArgument("inline payload too large");
+      }
+    }
+  }
+  for (size_t i = 0; i < wrs.size(); i++) {
+    WorkRequest wr = wrs[i];
+    wr.chained = i > 0;  // chain head rings the only doorbell
+    Status s = PostSend(wr);
+    if (!s.ok()) return s;  // unreachable after the validation above
+  }
+  postlist_hist_->Add(static_cast<int64_t>(wrs.size()));
+  return Status::OK();
+}
+
 Status QueuePair::PostRecv(uint64_t wr_id, uint8_t* buf, uint32_t len) {
   if (state_ == State::kError) {
     return Status::Disconnected("PostRecv: QP in error state");
+  }
+  if (srq_ != nullptr) {
+    return Status::InvalidArgument(
+        "PostRecv: QP uses an SRQ; post to the SRQ instead");
   }
   if (recvs_.size() >= static_cast<size_t>(rnic_->cost().rdma.max_recv_wr)) {
     return Status::ResourceExhausted("PostRecv: receive queue full");
   }
   qp_counters_.recv->Increment();
   agg_counters_.recv->Increment();
-  recvs_.push_back(PostedRecv{wr_id, buf, len});
+  recvs_.push_back(RecvRequest{wr_id, buf, len});
   return Status::OK();
+}
+
+Status QueuePair::PostRecv(std::span<const RecvRequest> reqs) {
+  if (reqs.empty()) return Status::OK();
+  if (state_ == State::kError) {
+    return Status::Disconnected("PostRecv: QP in error state");
+  }
+  if (srq_ != nullptr) {
+    return Status::InvalidArgument(
+        "PostRecv: QP uses an SRQ; post to the SRQ instead");
+  }
+  if (recvs_.size() + reqs.size() >
+      static_cast<size_t>(rnic_->cost().rdma.max_recv_wr)) {
+    return Status::ResourceExhausted(
+        "PostRecv: postlist exceeds receive queue capacity");
+  }
+  for (const RecvRequest& r : reqs) {
+    recvs_.push_back(r);
+  }
+  qp_counters_.recv->Increment(reqs.size());
+  agg_counters_.recv->Increment(reqs.size());
+  return Status::OK();
+}
+
+bool QueuePair::TakeRecv(RecvRequest* out) {
+  if (srq_ != nullptr) return srq_->TryTake(out);
+  if (recvs_.empty()) return false;
+  *out = recvs_.front();
+  recvs_.pop_front();
+  return true;
+}
+
+void QueuePair::FailRnr(const WorkRequest& wr, QueuePair* initiator,
+                        Opcode rop, sim::TimeNs prop) {
+  if (srq_ != nullptr) {
+    // SRQ drained: the receiver's CQ sees the RNR error (its QP is what
+    // breaks), and the initiator's WR is flushed with the teardown.
+    WorkCompletion rwc;
+    rwc.opcode = rop;
+    rwc.status = WcStatus::kRnrRetryExceeded;
+    rwc.qp_num = qp_num_;
+    recv_cq_->Push(rwc);
+    initiator->CompleteInitiator(wr, WcStatus::kWrFlushed,
+                                 sim_.Now() + prop, 0);
+  } else {
+    // Plain RQ: receiver-not-ready with no retries configured — only the
+    // initiator learns why.
+    initiator->CompleteInitiator(wr, WcStatus::kRnrRetryExceeded,
+                                 sim_.Now() + prop, 0);
+  }
+  Disconnect();
 }
 
 void QueuePair::Disconnect() {
@@ -227,9 +319,10 @@ void QueuePair::Fail() {
   }
   send_ch_.Close();
   deliveries_.Close();
-  // Flush posted receives.
+  // Flush posted receives. SRQ entries are deliberately NOT flushed: they
+  // belong to the shared pool and stay posted for surviving QPs.
   while (!recvs_.empty()) {
-    PostedRecv r = recvs_.front();
+    RecvRequest r = recvs_.front();
     recvs_.pop_front();
     WorkCompletion wc;
     wc.wr_id = r.wr_id;
@@ -281,8 +374,10 @@ sim::Co<void> QueuePair::SendEngine(std::shared_ptr<QueuePair> self) {
       self->CompleteInitiator(wr, WcStatus::kWrFlushed, sim.Now(), 0);
       continue;
     }
-    // WQE fetch + doorbell + NIC processing, serialized per QP.
-    co_await sim::Delay(sim, m.doorbell_ns + m.process_ns);
+    // WQE fetch + doorbell + NIC processing, serialized per QP. Chained
+    // postlist WRs skip the doorbell — only the chain head rang it.
+    co_await sim::Delay(
+        sim, (wr.chained ? m.postlist_wqe_ns : m.doorbell_ns) + m.process_ns);
     if (self->state_ != State::kConnected) {
       self->CompleteInitiator(wr, WcStatus::kWrFlushed, sim.Now(), 0);
       continue;
@@ -350,15 +445,11 @@ sim::Co<void> QueuePair::Execute(Delivery d) {
 
   switch (wr.opcode) {
     case Opcode::kSend: {
-      if (recvs_.empty()) {
-        // Receiver-not-ready with no retries configured: fatal.
-        initiator->CompleteInitiator(wr, WcStatus::kRnrRetryExceeded,
-                                     sim.Now() + prop, 0);
-        Disconnect();
+      RecvRequest r;
+      if (!TakeRecv(&r)) {
+        FailRnr(wr, initiator, Opcode::kRecv, prop);
         co_return;
       }
-      PostedRecv r = recvs_.front();
-      recvs_.pop_front();
       if (wr.length > r.len) {
         initiator->CompleteInitiator(wr, WcStatus::kRemoteAccessError,
                                      sim.Now() + prop, 0);
@@ -395,14 +486,11 @@ sim::Co<void> QueuePair::Execute(Delivery d) {
         std::memcpy(mr->Translate(wr.remote_addr), SendSource(wr), wr.length);
       }
       if (wr.opcode == Opcode::kWriteWithImm) {
-        if (recvs_.empty()) {
-          initiator->CompleteInitiator(wr, WcStatus::kRnrRetryExceeded,
-                                       sim.Now() + prop, 0);
-          Disconnect();
+        RecvRequest r;
+        if (!TakeRecv(&r)) {
+          FailRnr(wr, initiator, Opcode::kRecvWithImm, prop);
           co_return;
         }
-        PostedRecv r = recvs_.front();
-        recvs_.pop_front();
         WorkCompletion rwc;
         rwc.wr_id = r.wr_id;
         rwc.opcode = Opcode::kRecvWithImm;

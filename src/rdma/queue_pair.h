@@ -15,12 +15,14 @@
 
 #include <deque>
 #include <memory>
+#include <span>
 
 #include "common/status.h"
 #include "net/fabric.h"
 #include "obs/observability.h"
 #include "rdma/completion_queue.h"
 #include "rdma/memory_region.h"
+#include "rdma/srq.h"
 #include "rdma/verbs.h"
 #include "sim/channel.h"
 #include "sim/task.h"
@@ -35,7 +37,8 @@ class QueuePair : public std::enable_shared_from_this<QueuePair> {
   enum class State { kInit, kConnected, kError };
 
   QueuePair(Rnic* rnic, std::shared_ptr<CompletionQueue> send_cq,
-            std::shared_ptr<CompletionQueue> recv_cq);
+            std::shared_ptr<CompletionQueue> recv_cq,
+            std::shared_ptr<SharedReceiveQueue> srq = nullptr);
   ~QueuePair();
   QueuePair(const QueuePair&) = delete;
   QueuePair& operator=(const QueuePair&) = delete;
@@ -44,9 +47,20 @@ class QueuePair : public std::enable_shared_from_this<QueuePair> {
   /// the send queue is full.
   Status PostSend(const WorkRequest& wr);
 
+  /// Postlist variant (ibv_post_send with a `next`-chained WR list): the
+  /// whole chain is validated up front and posted all-or-nothing — one
+  /// doorbell for the chain head, `postlist_wqe_ns` per later WR.
+  /// (Deviation from real verbs, which partially post and return bad_wr;
+  /// all-or-nothing keeps simulation state simple. See DESIGN.md §10.)
+  Status PostSend(std::span<const WorkRequest> wrs);
+
   /// Posts a receive buffer (required for incoming Send / WriteWithImm).
-  /// `buf` may be null for immediate-only receives.
+  /// `buf` may be null for immediate-only receives. Invalid on an
+  /// SRQ-attached QP — post to the SRQ instead.
   Status PostRecv(uint64_t wr_id, uint8_t* buf, uint32_t len);
+
+  /// Postlist variant of PostRecv; all-or-nothing.
+  Status PostRecv(std::span<const RecvRequest> reqs);
 
   /// Tears the connection down; both sides transition to error and all
   /// outstanding work requests are flushed.
@@ -65,6 +79,7 @@ class QueuePair : public std::enable_shared_from_this<QueuePair> {
 
   size_t outstanding_sends() const { return outstanding_; }
   size_t posted_recvs() const { return recvs_.size(); }
+  SharedReceiveQueue* srq() const { return srq_.get(); }
 
   /// Called by CompletionQueue on overflow.
   void FailFromCq();
@@ -78,17 +93,23 @@ class QueuePair : public std::enable_shared_from_this<QueuePair> {
     WorkRequest wr;
     std::shared_ptr<QueuePair> initiator;  // kept alive until executed
   };
-  struct PostedRecv {
-    uint64_t wr_id;
-    uint8_t* buf;
-    uint32_t len;
-  };
 
   static sim::Co<void> SendEngine(std::shared_ptr<QueuePair> self);
   static sim::Co<void> ResponderWorker(std::shared_ptr<QueuePair> self);
 
   /// Executes one inbound operation at this (responder) QP.
   sim::Co<void> Execute(Delivery d);
+
+  /// Pops the next receive buffer — from the SRQ when attached, the QP's
+  /// own receive queue otherwise. False when drained.
+  bool TakeRecv(RecvRequest* out);
+
+  /// The drained-receive-pool failure path for an inbound Send /
+  /// WriteWithImm (`rop` names the receive-side opcode). SRQ-attached QPs
+  /// surface the error on the receiver's CQ; plain RQs tell only the
+  /// initiator. Both tear the connection down.
+  void FailRnr(const WorkRequest& wr, QueuePair* initiator, Opcode rop,
+               sim::TimeNs prop);
 
   void Fail();
 
@@ -109,7 +130,8 @@ class QueuePair : public std::enable_shared_from_this<QueuePair> {
 
   sim::Channel<WorkRequest> send_ch_;
   sim::Channel<Delivery> deliveries_;
-  std::deque<PostedRecv> recvs_;
+  std::deque<RecvRequest> recvs_;
+  std::shared_ptr<SharedReceiveQueue> srq_;  // nullptr = plain RQ
   sim::Event error_event_;
 
   size_t outstanding_ = 0;
@@ -131,6 +153,7 @@ class QueuePair : public std::enable_shared_from_this<QueuePair> {
   };
   OpCounters qp_counters_;
   OpCounters agg_counters_;
+  obs::LogLinearHistogram* postlist_hist_ = nullptr;
   obs::SpanTracer* tracer_;
   obs::TrackId trace_track_ = 0;
 };

@@ -4,6 +4,7 @@
 
 #include "rdma/completion_queue.h"
 #include "rdma/queue_pair.h"
+#include "rdma/srq.h"
 
 namespace kafkadirect {
 namespace rdma {
@@ -46,6 +47,8 @@ std::shared_ptr<CompletionQueue> Rnic::CreateCq(int capacity) {
   // worst polling backlog any CQ saw.
   cq->set_depth_gauge(
       fabric_.obs().metrics.GetGauge("kd.rdma.cq.depth"));
+  cq->set_poll_batch_hist(
+      fabric_.obs().metrics.GetHistogram("kd.rdma.cq.poll_batch"));
   return cq;
 }
 
@@ -54,6 +57,20 @@ std::shared_ptr<QueuePair> Rnic::CreateQp(
     std::shared_ptr<CompletionQueue> recv_cq) {
   return std::make_shared<QueuePair>(this, std::move(send_cq),
                                      std::move(recv_cq));
+}
+
+std::shared_ptr<QueuePair> Rnic::CreateQp(
+    std::shared_ptr<CompletionQueue> send_cq,
+    std::shared_ptr<CompletionQueue> recv_cq,
+    std::shared_ptr<SharedReceiveQueue> srq) {
+  return std::make_shared<QueuePair>(this, std::move(send_cq),
+                                     std::move(recv_cq), std::move(srq));
+}
+
+std::shared_ptr<SharedReceiveQueue> Rnic::CreateSrq(int max_wr) {
+  if (max_wr <= 0) max_wr = fabric_.cost().rdma.max_srq_wr;
+  return std::make_shared<SharedReceiveQueue>(sim_, max_wr,
+                                              fabric_.obs().metrics);
 }
 
 }  // namespace rdma

@@ -17,6 +17,7 @@ namespace rdma {
 
 class QueuePair;
 class CompletionQueue;
+class SharedReceiveQueue;
 
 class Rnic {
  public:
@@ -47,6 +48,13 @@ class Rnic {
   std::shared_ptr<CompletionQueue> CreateCq(int capacity = 0);
   std::shared_ptr<QueuePair> CreateQp(std::shared_ptr<CompletionQueue> send_cq,
                                       std::shared_ptr<CompletionQueue> recv_cq);
+  /// SRQ-attached QP (ibv_create_qp with srq set): inbound Send /
+  /// WriteWithImm consume from `srq` instead of a per-QP receive queue.
+  std::shared_ptr<QueuePair> CreateQp(std::shared_ptr<CompletionQueue> send_cq,
+                                      std::shared_ptr<CompletionQueue> recv_cq,
+                                      std::shared_ptr<SharedReceiveQueue> srq);
+  /// Shared receive pool; max_wr <= 0 takes the cost model default.
+  std::shared_ptr<SharedReceiveQueue> CreateSrq(int max_wr = 0);
 
   sim::Simulator& simulator() { return sim_; }
   net::Fabric& fabric() { return fabric_; }

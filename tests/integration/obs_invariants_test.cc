@@ -65,6 +65,53 @@ TEST(ObsInvariantsTest, RdmaProduceIsZeroCopy) {
   EXPECT_GT(CounterValue(cluster, "kd.rdma.bytes_posted"), zero_copy);
 }
 
+TEST(ObsInvariantsTest, SrqAccountingAndZeroCopyHoldWithSrqEnabled) {
+  DeploymentConfig deploy;
+  deploy.broker.rdma_produce = true;
+  deploy.broker.use_srq = true;
+  deploy.broker.srq_depth = 256;
+  deploy.broker.cq_poll_batch = 8;
+  TestCluster cluster(deploy);
+  ProduceOptions options;
+  options.records_per_producer = 30;
+  options.record_size = 1024;
+  options.max_inflight = 4;
+  auto result =
+      RunProduceWorkload(cluster, SystemKind::kKdExclusive, options);
+  ASSERT_EQ(result.records, 30u);
+  ASSERT_EQ(result.errors, 0u);
+
+  // SRQ accounting: posted - consumed == live depth, both in the SRQ's
+  // own view and in the process-wide metric instruments.
+  uint64_t posted = CounterValue(cluster, "kd.rdma.srq.posted");
+  uint64_t consumed = CounterValue(cluster, "kd.rdma.srq.consumed");
+  const obs::Gauge* depth_gauge =
+      cluster.fabric().obs().metrics.FindGauge("kd.rdma.srq.depth");
+  ASSERT_NE(depth_gauge, nullptr);
+  EXPECT_GT(posted, 0u);
+  EXPECT_GT(consumed, 0u);  // the workload ran through the SRQ
+  EXPECT_EQ(posted - consumed,
+            static_cast<uint64_t>(depth_gauge->value()));
+  rdma::SharedReceiveQueue* srq = cluster.Broker(0)->srq();
+  ASSERT_NE(srq, nullptr);
+  EXPECT_EQ(srq->posted() - srq->consumed(), srq->depth());
+  EXPECT_EQ(posted - consumed, srq->depth());  // single broker: one SRQ
+
+  // The zero-copy invariants are unchanged by the SRQ datapath.
+  uint64_t produced = CounterValue(cluster, "kd.broker.0.produce.bytes");
+  uint64_t zero_copy =
+      CounterValue(cluster, "kd.direct.rdma_produce.zero_copy_bytes");
+  EXPECT_GT(zero_copy, 30u * 1024u);
+  EXPECT_EQ(zero_copy, produced);
+  EXPECT_EQ(CounterValue(cluster, "kd.broker.0.produce.copied_bytes"), 0u);
+
+  // The batched poll path recorded its drain sizes.
+  const obs::LogLinearHistogram* batches =
+      cluster.fabric().obs().metrics.FindHistogram("kd.rdma.cq.poll_batch");
+  ASSERT_NE(batches, nullptr);
+  EXPECT_GT(batches->count(), 0u);
+}
+
 TEST(ObsInvariantsTest, AckedProduceImpliesHwmAtLogEnd) {
   DeploymentConfig deploy;
   deploy.num_brokers = 3;

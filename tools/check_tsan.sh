@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Builds the common + sim test binaries under ThreadSanitizer (the "tsan"
+# CMake preset) and runs them. The simulator core is single-threaded by
+# design; this pass guards the boundary where that assumption could erode —
+# coroutine frames resumed from the event loop, Event/Channel wakeup lists,
+# and any future worker-thread experiments linking against kd_sim.
+#
+# Usage: tools/check_tsan.sh
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="$ROOT/build-tsan"
+
+cmake --preset tsan -S "$ROOT" >/dev/null
+cmake --build "$BUILD_DIR" -j"$(nproc)" --target common_test sim_test
+
+export TSAN_OPTIONS=halt_on_error=1:second_deadlock_stack=1
+
+"$BUILD_DIR/tests/common_test"
+"$BUILD_DIR/tests/sim_test"
+
+echo "tsan: all common + sim tests passed"

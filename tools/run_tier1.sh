@@ -3,13 +3,17 @@
 #
 #   1. Release configure + build of everything (tests and benches).
 #   2. Full ctest suite.
-#   3. ASan/UBSan pass over the allocation-sensitive suites
+#   3. Host-perf gate: bench/run_simcore.sh, compared against the committed
+#      BENCH_simcore.baseline.json — fails on a >10% regression
+#      (tools/compare_simcore.py).
+#   4. ASan/UBSan pass over the allocation-sensitive suites
 #      (tools/check_asan.sh).
-#   4. Optimized UBSan pass over the same plus the obs suite
+#   5. Optimized UBSan pass over the same plus the obs suite
 #      (tools/check_ubsan.sh).
+#   6. TSan pass over the same suites (tools/check_tsan.sh).
 #
 # Usage: tools/run_tier1.sh [--fast]
-#   --fast  skip the sanitizer rebuilds (steps 3 and 4)
+#   --fast  skip the perf gate and sanitizer rebuilds (steps 3-6)
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -23,8 +27,13 @@ cmake --build "$BUILD_DIR" -j"$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
 
 if [[ "$FAST" == 0 ]]; then
+  "$ROOT/bench/run_simcore.sh" "$BUILD_DIR"
+  python3 "$ROOT/tools/compare_simcore.py" \
+    "$ROOT/BENCH_simcore.baseline.json" "$ROOT/BENCH_simcore.json" \
+    --max-regress 0.10
   "$ROOT/tools/check_asan.sh"
   "$ROOT/tools/check_ubsan.sh"
+  "$ROOT/tools/check_tsan.sh"
 fi
 
 echo "tier1: all checks passed"
