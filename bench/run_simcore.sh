@@ -4,6 +4,10 @@
 # BENCH_simcore.baseline.json (captured before the allocation-free hot-path
 # work) to check for regressions.
 #
+# The report's "context" block records the run provenance: git commit,
+# host core count, and the sharded-engine configuration swept by the
+# BM_Sharded* variants (tools/compare_simcore.py reads these).
+#
 # Usage: bench/run_simcore.sh [build_dir]   (default: build)
 set -euo pipefail
 
@@ -17,10 +21,17 @@ if [[ ! -x "$BIN" ]]; then
   exit 1
 fi
 
+GIT_COMMIT="$(git -C "$ROOT" rev-parse --short HEAD 2>/dev/null || echo unknown)"
+HOST_CORES="$(nproc 2>/dev/null || echo unknown)"
+
 "$BIN" \
   --benchmark_out="$ROOT/BENCH_simcore.json" \
   --benchmark_out_format=json \
   --benchmark_repetitions=3 \
-  --benchmark_report_aggregates_only=true
+  --benchmark_report_aggregates_only=true \
+  --benchmark_context=git_commit="$GIT_COMMIT" \
+  --benchmark_context=host_cores="$HOST_CORES" \
+  --benchmark_context=sim_shards=8 \
+  --benchmark_context=sim_thread_counts=1/2/4/8
 
 echo "wrote $ROOT/BENCH_simcore.json"

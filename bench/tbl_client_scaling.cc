@@ -3,8 +3,10 @@
 // receive queue. With per-QP receive pools the broker's ctrl-recv memory
 // grows linearly in the number of connected clients; with the SRQ it is a
 // single arena sized for aggregate inbound rate — constant across the
-// sweep (asserted at 1024 clients). Shared-mode producers are used so any
-// number of clients can target one partition.
+// sweep (asserted at 4096 clients). Shared-mode producers are used so any
+// number of clients can target one partition. The deployment runs on the
+// sharded engine (deterministic mode; see --sim_shards/--sim_threads and
+// the JSON context block).
 //
 // Flags: --json=<path> writes the rows as JSON (the committed
 // BENCH_client_scaling.baseline.json was produced this way).
@@ -81,7 +83,7 @@ Point RunPoint(int clients, bool use_srq) {
   p.clients = clients;
   p.srq = use_srq;
   p.ctrl_recv_buf_bytes = ctrl_bytes;
-  p.events = cluster.sim().events_processed();
+  p.events = cluster.engine().events_processed();
   p.records = static_cast<uint64_t>(clients) * kRecordsPerClient;
   p.host_ns_per_op =
       static_cast<double>(elapsed) / static_cast<double>(p.records);
@@ -93,7 +95,7 @@ void Run(const std::string& json_path) {
       "Client scaling", "broker ctrl-recv bytes vs producer count",
       {"clients", "srq", "ctrl_recv_KiB", "sim_events", "host_ns_per_op"});
   std::vector<Point> points;
-  for (int clients : {8, 64, 256, 1024}) {
+  for (int clients : {8, 64, 256, 1024, 4096}) {
     for (bool use_srq : {false, true}) {
       Point p = RunPoint(clients, use_srq);
       points.push_back(p);
@@ -109,23 +111,27 @@ void Run(const std::string& json_path) {
   uint64_t srq_small = 0, srq_large = 0, raw_small = 0, raw_large = 0;
   for (const Point& p : points) {
     if (p.srq && p.clients == 8) srq_small = p.ctrl_recv_buf_bytes;
-    if (p.srq && p.clients == 1024) srq_large = p.ctrl_recv_buf_bytes;
+    if (p.srq && p.clients == 4096) srq_large = p.ctrl_recv_buf_bytes;
     if (!p.srq && p.clients == 8) raw_small = p.ctrl_recv_buf_bytes;
-    if (!p.srq && p.clients == 1024) raw_large = p.ctrl_recv_buf_bytes;
+    if (!p.srq && p.clients == 4096) raw_large = p.ctrl_recv_buf_bytes;
   }
   KD_CHECK(srq_large == srq_small)
       << "SRQ ctrl-recv bytes must be independent of client count: "
-      << srq_small << " @8 vs " << srq_large << " @1024";
+      << srq_small << " @8 vs " << srq_large << " @4096";
   std::printf(
-      "\nper-QP pools grow %.0fx from 8 to 1024 clients; the SRQ arena "
+      "\nper-QP pools grow %.0fx from 8 to 4096 clients; the SRQ arena "
       "stays at %.1f KiB.\n",
       static_cast<double>(raw_large) /
           static_cast<double>(raw_small == 0 ? 1 : raw_small),
       srq_large / 1024.0);
 
   if (!json_path.empty()) {
+    const harness::SimEngineOptions& eng = harness::sim_engine_options();
     std::ofstream out(json_path);
-    out << "{\n  \"benchmarks\": [\n";
+    out << "{\n  \"context\": {\"engine\": \"sharded-deterministic\", "
+        << "\"sim_shards\": " << eng.shards
+        << ", \"sim_threads\": " << eng.threads << "},\n";
+    out << "  \"benchmarks\": [\n";
     for (size_t i = 0; i < points.size(); i++) {
       const Point& p = points[i];
       out << "    {\"name\": \"client_scaling/" << p.clients << "/srq_"

@@ -1,7 +1,9 @@
 #include "harness/harness.h"
 
 #include <cstdio>
+#include <cstdlib>
 
+#include "obs/shard_metrics.h"
 #include "sim/awaitable.h"
 
 namespace kafkadirect {
@@ -9,22 +11,32 @@ namespace harness {
 
 namespace {
 ObsOptions g_obs_options;
+SimEngineOptions g_engine_options;
 }  // namespace
 
 void InitObsFromArgs(int argc, char** argv) {
   const std::string kMetrics = "--metrics_json=";
   const std::string kTrace = "--trace_json=";
+  const std::string kThreads = "--sim_threads=";
+  const std::string kShards = "--sim_shards=";
   for (int i = 1; i < argc; i++) {
     std::string arg = argv[i];
     if (arg.rfind(kMetrics, 0) == 0) {
       g_obs_options.metrics_json = arg.substr(kMetrics.size());
     } else if (arg.rfind(kTrace, 0) == 0) {
       g_obs_options.trace_json = arg.substr(kTrace.size());
+    } else if (arg.rfind(kThreads, 0) == 0) {
+      g_engine_options.threads =
+          std::max(1, std::atoi(arg.c_str() + kThreads.size()));
+    } else if (arg.rfind(kShards, 0) == 0) {
+      g_engine_options.shards =
+          std::max(1, std::atoi(arg.c_str() + kShards.size()));
     }
   }
 }
 
 const ObsOptions& obs_options() { return g_obs_options; }
+const SimEngineOptions& sim_engine_options() { return g_engine_options; }
 
 const char* SystemName(SystemKind kind) {
   switch (kind) {
@@ -36,15 +48,23 @@ const char* SystemName(SystemKind kind) {
   return "?";
 }
 
-TestCluster::TestCluster(DeploymentConfig config) : config_(config) {
-  fabric_ = std::make_unique<net::Fabric>(sim_, cost_);
+TestCluster::TestCluster(DeploymentConfig config)
+    : config_(config),
+      engine_(sim::ShardedConfig{
+          .num_shards = static_cast<uint32_t>(
+              config.sim_shards > 0 ? config.sim_shards
+                                    : sim_engine_options().shards),
+          .num_threads = 1,
+          .lookahead_ns = CostModel{}.ShardLookaheadNs(),
+          .deterministic = true}) {
+  fabric_ = std::make_unique<net::Fabric>(sim(), cost_);
   // Enable tracing before any broker/client defines tracks or records
   // spans, so a --trace_json run captures the full deployment lifecycle.
   if (config.enable_tracing || !g_obs_options.trace_json.empty()) {
     fabric_->obs().tracer.Enable();
   }
-  tcpnet_ = std::make_unique<tcpnet::Network>(sim_, *fabric_);
-  cluster_ = std::make_unique<kafka::Cluster>(sim_, *fabric_, *tcpnet_,
+  tcpnet_ = std::make_unique<tcpnet::Network>(sim(), *fabric_);
+  cluster_ = std::make_unique<kafka::Cluster>(sim(), *fabric_, *tcpnet_,
                                               config.broker,
                                               config.num_brokers);
   cluster_->set_broker_factory(
@@ -56,7 +76,7 @@ TestCluster::TestCluster(DeploymentConfig config) : config_(config) {
       });
   KD_CHECK_OK(cluster_->Start());
   for (int b = 0; b < config.num_brokers; b++) {
-    auto listener = std::make_shared<osu::OsuListener>(sim_);
+    auto listener = std::make_shared<osu::OsuListener>(sim());
     osu_listeners_.push_back(listener);
     cluster_->broker(b)->ServeListener(listener);
   }
@@ -64,6 +84,7 @@ TestCluster::TestCluster(DeploymentConfig config) : config_(config) {
 
 TestCluster::~TestCluster() {
   if (!g_obs_options.metrics_json.empty()) {
+    obs::ExportShardStats(fabric_->obs().metrics, engine_);
     KD_CHECK(fabric_->obs().metrics.WriteJsonFile(g_obs_options.metrics_json))
         << "cannot write " << g_obs_options.metrics_json;
   }
@@ -76,7 +97,7 @@ TestCluster::~TestCluster() {
 
 net::NodeId TestCluster::AddClientNode(const std::string& name) {
   net::NodeId node = fabric_->AddNode(name);
-  client_rnics_[node] = std::make_unique<rdma::Rnic>(sim_, *fabric_, node);
+  client_rnics_[node] = std::make_unique<rdma::Rnic>(sim(), *fabric_, node);
   return node;
 }
 
@@ -85,14 +106,14 @@ rdma::Rnic& TestCluster::ClientRnic(net::NodeId node) {
 }
 
 void TestCluster::RunToFlag(const bool* flag, sim::TimeNs deadline) {
-  sim_.RunUntilDone([flag]() { return *flag; }, sim_.Now() + deadline);
+  engine_.RunUntilDone([flag]() { return *flag; }, engine_.Now() + deadline);
   KD_CHECK(*flag) << "workload did not finish before the deadline";
 }
 
 void TestCluster::RunUntilCount(const int* counter, int target,
                                 sim::TimeNs deadline) {
-  sim_.RunUntilDone([counter, target]() { return *counter >= target; },
-                    sim_.Now() + deadline);
+  engine_.RunUntilDone([counter, target]() { return *counter >= target; },
+                       engine_.Now() + deadline);
   KD_CHECK(*counter >= target) << "workload did not finish: " << *counter
                                << "/" << target;
 }

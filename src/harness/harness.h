@@ -17,6 +17,7 @@
 #include "kafka/consumer.h"
 #include "kafka/producer.h"
 #include "osu/osu_transport.h"
+#include "sim/sharded.h"
 
 namespace kafkadirect {
 namespace harness {
@@ -39,6 +40,12 @@ struct DeploymentConfig {
   /// Record spans even without --trace_json (used by tests; the tracer
   /// must be enabled before brokers/QPs are created so tracks exist).
   bool enable_tracing = false;
+  /// Shard count for the embedded simulation engine; 0 = take the
+  /// --sim_shards command-line flag (default 1). The harness always runs
+  /// its engine in deterministic (merged) mode so workload predicates
+  /// evaluate at well-defined points; parallel execution is exercised by
+  /// the engine benches and tests (bench/simcore_gbench.cc).
+  int sim_shards = 0;
 };
 
 /// Observability outputs requested on the command line. When `trace_json`
@@ -50,10 +57,18 @@ struct ObsOptions {
   std::string trace_json;    // --trace_json=<path>
 };
 
-/// Parses --metrics_json= / --trace_json= into the process-wide options.
-/// Unrecognized arguments are ignored (benches keep their own flags).
+/// Simulation-engine knobs from the command line (DESIGN.md §11).
+struct SimEngineOptions {
+  int threads = 1;  // --sim_threads=<n>: worker threads for parallel mode
+  int shards = 1;   // --sim_shards=<n>: event-queue domains
+};
+
+/// Parses --metrics_json= / --trace_json= / --sim_threads= / --sim_shards=
+/// into the process-wide options. Unrecognized arguments are ignored
+/// (benches keep their own flags).
 void InitObsFromArgs(int argc, char** argv);
 const ObsOptions& obs_options();
+const SimEngineOptions& sim_engine_options();
 
 /// A fully wired simulated deployment: fabric + TCP stack + brokers (all
 /// KafkaDirectBroker so every datapath is available) + an OSU listener per
@@ -86,7 +101,11 @@ class TestCluster {
   void RunUntilCount(const int* counter, int target,
                      sim::TimeNs deadline = Seconds(3600));
 
-  sim::Simulator& sim() { return sim_; }
+  /// The default event-queue domain (shard 0) — the simulator every
+  /// deployment entity schedules on, exactly as before the engine existed.
+  sim::Simulator& sim() { return engine_.shard(0); }
+  /// The sharded engine driving the deployment (deterministic mode).
+  sim::ShardedSimulator& engine() { return engine_; }
   CostModel& cost() { return cost_; }  // mutate BEFORE constructing clients
   net::Fabric& fabric() { return *fabric_; }
   tcpnet::Network& tcp() { return *tcpnet_; }
@@ -94,7 +113,7 @@ class TestCluster {
 
  private:
   DeploymentConfig config_;
-  sim::Simulator sim_;
+  sim::ShardedSimulator engine_;
   CostModel cost_;
   std::unique_ptr<net::Fabric> fabric_;
   std::unique_ptr<tcpnet::Network> tcpnet_;

@@ -76,6 +76,12 @@ struct BrokerConfig {
   // Shared RDMA produce: how long request i waits for request i-1 before
   // the broker aborts and revokes access (§4.2.2).
   sim::TimeNs shared_produce_hole_timeout = 5 * 1000 * 1000;  // 5 ms
+
+  /// Simulator shard domain for this broker's event processing when the
+  /// cluster runs under a ShardedSimulator (DESIGN.md §11). -1 = auto:
+  /// broker id modulo the engine's shard count. Ignored (everything on
+  /// shard 0) under a standalone Simulator.
+  int32_t shard_affinity = -1;
 };
 
 /// Broker-side runtime counters, used by benches for CPU-load and

@@ -1,0 +1,48 @@
+// Exports the sharded simulator's engine and per-shard counters into a
+// MetricsRegistry (DESIGN.md §11): epoch barriers crossed, work steals,
+// cross-shard mailbox traffic and depth. Gauges, not counters, so a
+// re-export after another run overwrites instead of double-counting.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.h"
+#include "sim/sharded.h"
+
+namespace kafkadirect {
+namespace obs {
+
+inline void ExportShardStats(MetricsRegistry& metrics,
+                             const sim::ShardedSimulator& engine) {
+  metrics.GetGauge("sim.engine.num_shards")
+      ->Set(static_cast<int64_t>(engine.num_shards()));
+  metrics.GetGauge("sim.engine.num_threads")
+      ->Set(static_cast<int64_t>(engine.num_threads()));
+  metrics.GetGauge("sim.engine.lookahead_ns")
+      ->Set(static_cast<int64_t>(engine.lookahead()));
+  metrics.GetGauge("sim.engine.epochs")
+      ->Set(static_cast<int64_t>(engine.epochs()));
+  metrics.GetGauge("sim.engine.events")
+      ->Set(static_cast<int64_t>(engine.events_processed()));
+  for (uint32_t s = 0; s < engine.num_shards(); s++) {
+    const sim::ShardStats st = engine.shard_stats(s);
+    const std::string p = "sim.shard" + std::to_string(s) + ".";
+    metrics.GetGauge(p + "events")->Set(static_cast<int64_t>(st.events));
+    metrics.GetGauge(p + "epochs_active")
+        ->Set(static_cast<int64_t>(st.epochs_active));
+    metrics.GetGauge(p + "steals")->Set(static_cast<int64_t>(st.steals));
+    metrics.GetGauge(p + "cross_sent")
+        ->Set(static_cast<int64_t>(st.cross_sent));
+    metrics.GetGauge(p + "cross_received")
+        ->Set(static_cast<int64_t>(st.cross_received));
+    metrics.GetGauge(p + "mailbox_spills")
+        ->Set(static_cast<int64_t>(st.mailbox_spills));
+    metrics.GetGauge(p + "mailbox_max_depth")
+        ->Set(static_cast<int64_t>(st.mailbox_max_depth));
+    metrics.GetGauge(p + "lookahead_clamps")
+        ->Set(static_cast<int64_t>(st.lookahead_clamps));
+  }
+}
+
+}  // namespace obs
+}  // namespace kafkadirect

@@ -1,0 +1,71 @@
+// SpscRing<T>: a bounded single-producer/single-consumer ring buffer.
+//
+// The cross-shard mailboxes of the sharded simulator (sim/sharded.h) are
+// built on this: during an epoch exactly one worker executes the source
+// shard (the producer) and between epochs exactly one worker drains the
+// destination shard's inbox (the consumer), so a lock-free SPSC queue is
+// sufficient — and keeps locks off the event hot path. Which *thread*
+// plays each role may change from epoch to epoch; the epoch barrier
+// provides the happens-before edge for the hand-off, and the acquire/
+// release pairs on head_/tail_ order payload access within an epoch.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace kafkadirect {
+namespace sim {
+
+template <typename T>
+class SpscRing {
+ public:
+  /// Capacity is rounded up to a power of two (minimum 2).
+  explicit SpscRing(size_t min_capacity) {
+    size_t cap = 2;
+    while (cap < min_capacity) cap <<= 1;
+    buf_.resize(cap);
+    mask_ = cap - 1;
+  }
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  /// Producer side. Returns false when full (caller spills elsewhere).
+  bool TryPush(T&& v) {
+    const uint64_t t = tail_.load(std::memory_order_relaxed);
+    const uint64_t h = head_.load(std::memory_order_acquire);
+    if (t - h == buf_.size()) return false;
+    buf_[t & mask_] = std::move(v);
+    tail_.store(t + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Returns false when empty.
+  bool TryPop(T& out) {
+    const uint64_t h = head_.load(std::memory_order_relaxed);
+    const uint64_t t = tail_.load(std::memory_order_acquire);
+    if (h == t) return false;
+    out = std::move(buf_[h & mask_]);
+    head_.store(h + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Approximate occupancy (exact when producer and consumer are quiesced).
+  size_t size() const {
+    return static_cast<size_t>(tail_.load(std::memory_order_acquire) -
+                               head_.load(std::memory_order_acquire));
+  }
+  size_t capacity() const { return buf_.size(); }
+  bool empty() const { return size() == 0; }
+
+ private:
+  std::vector<T> buf_;
+  size_t mask_ = 0;
+  alignas(64) std::atomic<uint64_t> head_{0};  // consumer cursor
+  alignas(64) std::atomic<uint64_t> tail_{0};  // producer cursor
+};
+
+}  // namespace sim
+}  // namespace kafkadirect

@@ -1,20 +1,19 @@
 // Pins the simulator's scheduling order to a golden fingerprint.
 //
-// The workload below schedules a pseudo-random event tree (with plenty of
-// equal-timestamp ties) and folds every (event id, firing time) pair into
-// an FNV-1a hash as events execute. The expected constants were captured
-// from the original std::priority_queue<std::function> implementation, so
-// any dispatch rewrite that reorders events — even among ties — fails
-// here. This is what keeps all fig* experiment outputs bit-identical.
+// The workload (tests/sim/fingerprint_workload.h) schedules a pseudo-random
+// event tree with plenty of equal-timestamp ties and folds every (event id,
+// firing time) pair into an FNV-1a hash as events execute. The expected
+// constants were captured from the original std::priority_queue<function>
+// implementation, so any dispatch rewrite that reorders events — even among
+// ties — fails here. This is what keeps all fig* experiment outputs
+// bit-identical.
 //
 // Compile with -DKD_FINGERPRINT_MAIN for a standalone binary that prints
 // the constants (used to capture the golden values).
-#include "sim/simulator.h"
+#include "fingerprint_workload.h"
 
 #include <cstdint>
 #include <cstdio>
-
-#include "common/random.h"
 
 #ifndef KD_FINGERPRINT_MAIN
 #include <gtest/gtest.h>
@@ -23,52 +22,6 @@
 namespace kafkadirect {
 namespace sim {
 namespace {
-
-struct FingerprintResult {
-  uint64_t fingerprint;
-  uint64_t events;
-  TimeNs end_time;
-};
-
-struct Workload {
-  Simulator& sim;
-  Random rng{12345};
-  uint64_t hash = 1469598103934665603ull;  // FNV-1a offset basis
-
-  void Mix(uint64_t v) {
-    hash ^= v;
-    hash *= 1099511628211ull;  // FNV-1a prime
-  }
-
-  // Each firing folds (id, Now()) into the hash, then schedules up to two
-  // children at nearby times. Child delays come from the shared RNG, so
-  // they too depend on global execution order.
-  void Fire(uint64_t id, int depth) {
-    Mix(id * 2654435761ull);
-    Mix(static_cast<uint64_t>(sim.Now()));
-    if (depth >= 3) return;
-    const int kids = static_cast<int>(rng.Uniform(3));
-    for (int k = 0; k < kids; k++) {
-      const uint64_t child = id * 4 + static_cast<uint64_t>(k) + 1;
-      const TimeNs delay = static_cast<TimeNs>(rng.Uniform(50));
-      sim.Schedule(delay, [this, child, depth] { Fire(child, depth + 1); });
-    }
-  }
-};
-
-FingerprintResult RunFingerprintWorkload() {
-  Simulator sim;
-  Workload w{sim};
-  Random root_rng(98765);
-  // 512 roots crammed into [0, 1000) ns: ties are common, so FIFO
-  // ordering among equal timestamps is exercised heavily.
-  for (uint64_t i = 0; i < 512; i++) {
-    const TimeNs at = static_cast<TimeNs>(root_rng.Uniform(1000));
-    sim.Schedule(at, [&w, i] { w.Fire(i * 131, 0); });
-  }
-  sim.Run();
-  return FingerprintResult{w.hash, sim.events_processed(), sim.Now()};
-}
 
 #ifndef KD_FINGERPRINT_MAIN
 

@@ -1,0 +1,92 @@
+// SpscRing tests: capacity rounding, wrap-around, full/empty edges, and a
+// two-thread producer/consumer stress run (the tsan preset validates the
+// acquire/release protocol on head_/tail_).
+#include "sim/spsc_ring.h"
+
+#include <cstdint>
+#include <memory>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace kafkadirect {
+namespace sim {
+namespace {
+
+TEST(SpscRingTest, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(SpscRing<int>(0).capacity(), 2u);
+  EXPECT_EQ(SpscRing<int>(1).capacity(), 2u);
+  EXPECT_EQ(SpscRing<int>(3).capacity(), 4u);
+  EXPECT_EQ(SpscRing<int>(4).capacity(), 4u);
+  EXPECT_EQ(SpscRing<int>(1000).capacity(), 1024u);
+}
+
+TEST(SpscRingTest, PushPopWrapsAroundManyTimes) {
+  SpscRing<uint64_t> ring(4);
+  uint64_t next_out = 0;
+  for (uint64_t i = 0; i < 1000; i++) {
+    ASSERT_TRUE(ring.TryPush(uint64_t{i}));
+    if (ring.size() < 3) continue;  // let occupancy oscillate between 2 and 3
+    uint64_t v;
+    ASSERT_TRUE(ring.TryPop(v));
+    EXPECT_EQ(v, next_out++);
+  }
+  uint64_t v;
+  while (ring.TryPop(v)) {
+    EXPECT_EQ(v, next_out++);
+  }
+  EXPECT_EQ(next_out, 1000u);
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(SpscRingTest, FullRingRejectsWithoutConsumingTheValue) {
+  SpscRing<std::unique_ptr<int>> ring(2);
+  ASSERT_TRUE(ring.TryPush(std::make_unique<int>(1)));
+  ASSERT_TRUE(ring.TryPush(std::make_unique<int>(2)));
+  auto keep = std::make_unique<int>(3);
+  EXPECT_FALSE(ring.TryPush(std::move(keep)));
+  ASSERT_NE(keep, nullptr) << "failed push must not steal the value";
+  EXPECT_EQ(*keep, 3);
+  EXPECT_EQ(ring.size(), 2u);
+}
+
+TEST(SpscRingTest, EmptyRingRejectsPop) {
+  SpscRing<int> ring(8);
+  int v = -1;
+  EXPECT_FALSE(ring.TryPop(v));
+  ASSERT_TRUE(ring.TryPush(7));
+  EXPECT_TRUE(ring.TryPop(v));
+  EXPECT_EQ(v, 7);
+  EXPECT_FALSE(ring.TryPop(v));
+}
+
+TEST(SpscRingTest, TwoThreadStressKeepsOrderAndLosesNothing) {
+  constexpr uint64_t kCount = 200000;
+  SpscRing<uint64_t> ring(64);
+  std::thread producer([&ring] {
+    for (uint64_t i = 0; i < kCount; i++) {
+      while (!ring.TryPush(uint64_t{i})) {
+        std::this_thread::yield();
+      }
+    }
+  });
+  uint64_t expected = 0;
+  uint64_t sum = 0;
+  while (expected < kCount) {
+    uint64_t v;
+    if (!ring.TryPop(v)) {
+      std::this_thread::yield();
+      continue;
+    }
+    ASSERT_EQ(v, expected) << "out-of-order delivery";
+    sum += v;
+    expected++;
+  }
+  producer.join();
+  EXPECT_TRUE(ring.empty());
+  EXPECT_EQ(sum, kCount * (kCount - 1) / 2);
+}
+
+}  // namespace
+}  // namespace sim
+}  // namespace kafkadirect

@@ -12,12 +12,13 @@ ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD_DIR="$ROOT/build-asan"
 
 cmake --preset asan -S "$ROOT" >/dev/null
-cmake --build "$BUILD_DIR" -j"$(nproc)" --target common_test sim_test
+cmake --build "$BUILD_DIR" -j"$(nproc)" --target common_test sim_test sharded_test
 
 export ASAN_OPTIONS=detect_leaks=1:strict_string_checks=1
 export UBSAN_OPTIONS=print_stacktrace=1:halt_on_error=1
 
 "$BUILD_DIR/tests/common_test"
 "$BUILD_DIR/tests/sim_test"
+"$BUILD_DIR/tests/sharded_test"
 
-echo "asan/ubsan: all common + sim tests passed"
+echo "asan/ubsan: all common + sim + sharded tests passed"

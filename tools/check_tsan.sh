@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
-# Builds the common + sim test binaries under ThreadSanitizer (the "tsan"
-# CMake preset) and runs them. The simulator core is single-threaded by
-# design; this pass guards the boundary where that assumption could erode —
-# coroutine frames resumed from the event loop, Event/Channel wakeup lists,
-# and any future worker-thread experiments linking against kd_sim.
+# Builds the common + sim + sharded-engine test binaries under
+# ThreadSanitizer (the "tsan" CMake preset) and runs them. The per-shard
+# simulator core is single-threaded by design; the sharded engine
+# (sim/sharded.h) is where real threads enter — the epoch barrier, the
+# shard-claim atomics, and the SPSC mailbox rings — so its tests (parallel
+# fingerprint equality, mailbox stress, the two-thread ring stress) are the
+# primary subjects of this pass.
 #
 # Usage: tools/check_tsan.sh
 set -euo pipefail
@@ -12,11 +14,12 @@ ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD_DIR="$ROOT/build-tsan"
 
 cmake --preset tsan -S "$ROOT" >/dev/null
-cmake --build "$BUILD_DIR" -j"$(nproc)" --target common_test sim_test
+cmake --build "$BUILD_DIR" -j"$(nproc)" --target common_test sim_test sharded_test
 
 export TSAN_OPTIONS=halt_on_error=1:second_deadlock_stack=1
 
 "$BUILD_DIR/tests/common_test"
 "$BUILD_DIR/tests/sim_test"
+"$BUILD_DIR/tests/sharded_test"
 
-echo "tsan: all common + sim tests passed"
+echo "tsan: all common + sim + sharded tests passed"

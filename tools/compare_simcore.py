@@ -10,11 +10,22 @@ representative time is the minimum across repetitions, or the median
 aggregate when only aggregates are present — the min/median is what's
 stable across runs on a noisy host.
 
+Parallel-engine variants (names carrying a "threads:N" argument, e.g.
+BM_ShardedParallel/shards:8/threads:4) are gated exactly like every other
+benchmark — the baseline holds one entry per thread count, so a slowdown
+at any parallelism level alone fails the comparison. In addition, a
+thread-scaling section reports each variant's speedup over its own
+single-threaded (threads:1) time for baseline and current. Speedup is
+reported, not gated: the measured scaling is a property of the capture
+host (see the host_cores context field run_simcore.sh records; a 1-core
+container cannot show parallel speedup no matter the engine).
+
 Usage: tools/compare_simcore.py BASELINE CURRENT [--max-regress 0.10]
 """
 
 import argparse
 import json
+import re
 import sys
 
 
@@ -46,6 +57,31 @@ def representative_times(path):
     return times
 
 
+def thread_groups(times):
+    """Groups 'threads:N' variants: family -> {N: real_time}."""
+    groups = {}
+    for name, t in times.items():
+        m = re.search(r"^(.*)/threads:(\d+)(.*)$", name)
+        if m is None:
+            continue
+        family = m.group(1) + m.group(3)
+        groups.setdefault(family, {})[int(m.group(2))] = t
+    return {f: g for f, g in groups.items() if len(g) > 1 and 1 in g}
+
+
+def print_thread_scaling(label, times):
+    groups = thread_groups(times)
+    if not groups:
+        return
+    print(f"\nthread scaling ({label}; speedup vs threads:1 of the same "
+          f"report):")
+    for family in sorted(groups):
+        g = groups[family]
+        t1 = g[1]
+        cells = [f"{n}T {t1 / g[n]:5.2f}x" for n in sorted(g)]
+        print(f"  {family:50} {'  '.join(cells)}")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline")
@@ -59,16 +95,19 @@ def main():
 
     missing = sorted(set(base) - set(cur))
     regressions = []
-    print(f"{'benchmark':40} {'baseline':>12} {'current':>12} {'delta':>8}")
+    print(f"{'benchmark':60} {'baseline':>12} {'current':>12} {'delta':>8}")
     for name in sorted(base):
         if name not in cur:
             continue
         delta = cur[name] / base[name] - 1.0
         flag = "  REGRESSED" if delta > args.max_regress else ""
-        print(f"{name:40} {base[name]:12.1f} {cur[name]:12.1f} "
+        print(f"{name:60} {base[name]:12.1f} {cur[name]:12.1f} "
               f"{delta:+7.1%}{flag}")
         if delta > args.max_regress:
             regressions.append((name, delta))
+
+    print_thread_scaling("baseline", base)
+    print_thread_scaling("current", cur)
 
     if missing:
         print(f"error: benchmarks missing from current report: "
