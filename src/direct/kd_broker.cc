@@ -1,6 +1,7 @@
 #include "direct/kd_broker.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 
 #include "common/logging.h"
@@ -13,6 +14,9 @@ using kafka::ErrorCode;
 using kafka::PartitionState;
 using kafka::RecordBatchView;
 using kafka::TopicPartitionId;
+
+/// Ctrl-message receives posted per accepted QP (without the SRQ).
+constexpr int kCtrlRecvsPerQp = 256;
 
 // ---------------------------------------------------------------------------
 // ConsumerSession / metadata slots
@@ -64,6 +68,7 @@ KafkaDirectBroker::KafkaDirectBroker(sim::Simulator& sim, net::Fabric& fabric,
   kd_obs_.ctrl_msgs = m.GetCounter("kd.direct.ctrl_msgs");
   kd_obs_.produce_file_pos =
       m.GetGauge("kd.direct.produce_file.commit_pos");
+  kd_obs_.ring_pushed_bytes = m.GetCounter("kd.direct.ring.pushed_bytes");
 }
 
 KafkaDirectBroker::~KafkaDirectBroker() = default;
@@ -193,7 +198,7 @@ KafkaDirectBroker::AcceptRdma(std::shared_ptr<rdma::QueuePair> client_qp) {
   auto qp = srq_ != nullptr ? rnic_.CreateQp(rdma_cq_, rdma_cq_, srq_)
                             : rnic_.CreateQp(rdma_cq_, rdma_cq_);
   KD_CO_RETURN_IF_ERROR(rdma::Connect(qp, client_qp));
-  PostCtrlRecvs(qp, 256);
+  PostCtrlRecvs(qp, kCtrlRecvsPerQp);
   rdma_qps_[qp->qp_num()] = qp;
   sim::Spawn(sim_, WatchQpFailure(qp));
   co_return qp;
@@ -265,6 +270,9 @@ sim::Co<void> KafkaDirectBroker::WatchQpFailure(
     if (!fs->aborted && !fs->shared && fs->owner_qp == qp->qp_num()) {
       AbortFile(fs.get(), ErrorCode::kRdmaAccessDenied);
     }
+  }
+  for (auto& [ref, grant] : ring_grants_) {
+    if (grant->qp_num == qp->qp_num()) grant->closed = true;
   }
   ReleaseQpRecvPool(qp->qp_num());
   rdma_qps_.erase(qp->qp_num());
@@ -412,6 +420,9 @@ sim::Co<void> KafkaDirectBroker::HandleExtendedRequest(Request req) {
       break;
     case kafka::MsgType::kRdmaConsumeAccessRequest:
       co_await HandleConsumeAccess(std::move(req));
+      break;
+    case kafka::MsgType::kRdmaRingConsumeAccessRequest:
+      co_await HandleRingConsumeAccess(std::move(req));
       break;
     case kafka::MsgType::kRdmaUnregisterRequest:
       co_await HandleUnregister(std::move(req));
@@ -706,7 +717,11 @@ sim::Co<void> KafkaDirectBroker::CommitRdmaWrite(RdmaFileState* fs,
 
     if (fs->replica) {
       stats_.replication_writes++;
-      GrantCredit(cur_qp, ps);
+      if (config_.receiver_paced_credits) {
+        PacedCreditOnCommit(fs, cur_qp);
+      } else {
+        GrantCredit(cur_qp, ps);
+      }
     } else {
       OnAppended(*ps, pos, cur_len, base, count);
       ps->leo_advanced.Pulse();
@@ -827,7 +842,11 @@ sim::Co<Status> KafkaDirectBroker::PushHandshake(PushSession* session,
   session->rkey = resp.rkey;
   session->capacity = resp.capacity;
   session->next_order = 0;
-  if (session->credits == nullptr) {
+  if (session->credits == nullptr || config_.receiver_paced_credits) {
+    // A paced follower resets its credit window on every handshake, so
+    // discard any stale permits to keep both sides' outstanding counts in
+    // agreement. (Safe: only this coroutine ever waits on the semaphore,
+    // and it is not waiting now.)
     session->credits = std::make_unique<sim::Semaphore>(sim_, resp.credits);
   }
   (void)ps;
@@ -1029,7 +1048,16 @@ sim::Co<void> KafkaDirectBroker::HandleReplicaAccess(Request req) {
   resp.rkey = fs->mr->rkey();
   resp.capacity = ps->log.head().capacity();
   resp.write_pos = fs->next_commit_pos;
-  resp.credits = config_.push_replication_credits;
+  uint32_t credits = config_.push_replication_credits;
+  if (config_.receiver_paced_credits) {
+    // Receiver pacing (DESIGN.md §12): the initial window is capped below
+    // this follower's posted ctrl-receive pool so the leader can never RNR
+    // us, and the pacer re-sizes it from the observed commit drain rate.
+    credits = std::min(credits, PacedCreditCap());
+    fs->pacer.credits_outstanding = credits;
+    sim::Spawn(sim_, CreditFlushLoop(fs));
+  }
+  resp.credits = credits;
   SendResponse(req.conn, Encode(resp));
 }
 
@@ -1039,6 +1067,82 @@ void KafkaDirectBroker::GrantCredit(uint32_t qp_num, PartitionState* ps) {
   msg.aux = 1;
   msg.value = ps->log.log_end_offset();
   SendCtrl(qp_num, msg);
+}
+
+uint32_t KafkaDirectBroker::PacedCreditCap() const {
+  return static_cast<uint32_t>(kCtrlRecvsPerQp) * 3 / 4;
+}
+
+uint32_t KafkaDirectBroker::PacedTargetWindow(const RdmaFileState* fs) const {
+  const uint32_t cap = PacedCreditCap();
+  double drain_ns = fs->pacer.ewma_commit_interval_ns;
+  if (drain_ns <= 0) return cap;  // no drain samples yet: open the window
+  // The window must cover one grant round trip of drain at the observed
+  // commit rate; 4x headroom absorbs poller batching and queueing jitter.
+  double rtt_ns = 2.0 * cost().link.propagation_ns +
+                  cost().cpu.poll_iteration_ns +
+                  cost().kafka.replication_post_ns;
+  auto target = static_cast<uint32_t>(std::ceil(4.0 * rtt_ns / drain_ns));
+  return std::clamp<uint32_t>(target, 8, cap);
+}
+
+void KafkaDirectBroker::PacedCreditOnCommit(RdmaFileState* fs,
+                                            uint32_t qp_num) {
+  RdmaFileState::CreditPacer& p = fs->pacer;
+  if (qp_num != 0) p.qp_num = qp_num;
+  sim::TimeNs now = sim_.Now();
+  if (p.last_commit_ns != 0) {
+    auto interval = static_cast<double>(now - p.last_commit_ns);
+    p.ewma_commit_interval_ns =
+        p.ewma_commit_interval_ns <= 0
+            ? interval
+            : 0.75 * p.ewma_commit_interval_ns + 0.25 * interval;
+  }
+  p.last_commit_ns = now;
+  if (p.credits_outstanding > 0) p.credits_outstanding--;
+  p.pending_grants++;
+  // Batch grants (~a quarter window per credit message) but flush early
+  // when the leader is close to running dry so throughput never stalls.
+  uint32_t target = PacedTargetWindow(fs);
+  bool leader_low = p.credits_outstanding * 2 < target;
+  if (leader_low || p.pending_grants >= std::max<uint32_t>(1, target / 4)) {
+    FlushPacedCredits(fs);
+  }
+}
+
+void KafkaDirectBroker::FlushPacedCredits(RdmaFileState* fs) {
+  RdmaFileState::CreditPacer& p = fs->pacer;
+  if (p.qp_num == 0 || fs->aborted) return;
+  uint32_t target = PacedTargetWindow(fs);
+  uint32_t grant =
+      p.credits_outstanding < target ? target - p.credits_outstanding : 0;
+  int64_t leo = fs->ps->log.log_end_offset();
+  if (grant == 0 && leo == p.last_leo_sent) {
+    p.pending_grants = 0;  // window already full and the LEO is current
+    return;
+  }
+  CtrlMsg msg;
+  msg.kind = CtrlKind::kCredit;
+  msg.aux = grant;  // leader Releases aux permits; 0 = LEO-only update
+  msg.value = leo;
+  SendCtrl(p.qp_num, msg);
+  p.credits_outstanding += grant;
+  p.pending_grants = 0;
+  p.last_leo_sent = leo;
+}
+
+sim::Co<void> KafkaDirectBroker::CreditFlushLoop(RdmaFileState* fs) {
+  const sim::TimeNs interval = config_.credit_flush_interval_ns > 0
+                                   ? config_.credit_flush_interval_ns
+                                   : 200 * 1000;
+  while (!fs->aborted) {
+    co_await sim::Delay(sim_, interval);
+    if (fs->aborted) co_return;
+    if (fs->pacer.pending_grants > 0 ||
+        fs->ps->log.log_end_offset() != fs->pacer.last_leo_sent) {
+      FlushPacedCredits(fs);
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -1173,6 +1277,192 @@ sim::Co<void> KafkaDirectBroker::HandleConsumeAccess(Request req) {
   SendResponse(req.conn, Encode(resp));
 }
 
+// ---------------------------------------------------------------------------
+// Ring-buffer consume protocol (DESIGN.md §12)
+// ---------------------------------------------------------------------------
+
+sim::Co<void> KafkaDirectBroker::HandleRingConsumeAccess(Request req) {
+  kafka::RdmaRingConsumeAccessRequest areq;
+  kafka::RdmaRingConsumeAccessResponse resp;
+  if (!kafka::Decode(Slice(req.frame), &areq).ok()) {
+    resp.error = ErrorCode::kInvalidRequest;
+    SendResponse(req.conn, Encode(resp));
+    co_return;
+  }
+  PartitionState* ps = GetPartition(areq.tp);
+  if (ps == nullptr) {
+    resp.error = ErrorCode::kUnknownTopicOrPartition;
+    SendResponse(req.conn, Encode(resp));
+    co_return;
+  }
+  if (!ps->is_leader || !config_.rdma_consume ||
+      !config_.rdma_ring_consume) {
+    resp.error = !ps->is_leader ? ErrorCode::kNotLeader
+                                : ErrorCode::kRdmaAccessDenied;
+    SendResponse(req.conn, Encode(resp));
+    co_return;
+  }
+  if (areq.ring_capacity == 0 ||
+      rdma_qps_.find(areq.broker_qp) == rdma_qps_.end()) {
+    resp.error = ErrorCode::kInvalidRequest;
+    SendResponse(req.conn, Encode(resp));
+    co_return;
+  }
+  int64_t leo = ps->log.log_end_offset();
+  if (areq.offset < 0 || areq.offset > leo) {
+    resp.error = ErrorCode::kOffsetOutOfRange;
+    SendResponse(req.conn, Encode(resp));
+    co_return;
+  }
+  int seg_index;
+  if (areq.offset == leo) {
+    seg_index = static_cast<int>(ps->log.segments().size()) - 1;
+  } else {
+    seg_index = ps->log.SegmentIndexFor(areq.offset);
+    if (seg_index < 0) {
+      resp.error = ErrorCode::kOffsetOutOfRange;
+      SendResponse(req.conn, Encode(resp));
+      co_return;
+    }
+  }
+  kafka::Segment& seg = *ps->log.segments()[seg_index];
+  uint64_t start_pos;
+  if (areq.offset >= seg.next_offset()) {
+    start_pos = seg.size();
+  } else {
+    auto pos_or = seg.PositionOf(areq.offset);
+    start_pos = pos_or.ok() ? pos_or.value() : seg.size();
+  }
+  auto grant = std::make_unique<RingConsumeGrant>();
+  grant->grant_ref = next_file_ref_++;
+  grant->ps = ps;
+  grant->qp_num = areq.broker_qp;
+  grant->seg_index = seg_index;
+  grant->read_pos = start_pos;
+  grant->ring_addr = areq.ring_addr;
+  grant->ring_rkey = areq.ring_rkey;
+  grant->ring_capacity = areq.ring_capacity;
+  grant->tail_addr = areq.tail_addr;
+  grant->tail_rkey = areq.tail_rkey;
+  // Only the 8-byte head word is registered broker-side: the push source
+  // is the broker's own TP file, read with plain loads, and the ring/tail
+  // MRs live on the consumer.
+  grant->head_word.assign(8, 0);
+  co_await Work(rnic_.RegistrationCost(grant->head_word.size()));
+  auto mr_or = rnic_.RegisterMemory(grant->head_word.data(),
+                                    grant->head_word.size(),
+                                    rdma::kAccessRemoteWrite);
+  if (!mr_or.ok()) {
+    resp.error = ErrorCode::kInvalidRequest;
+    SendResponse(req.conn, Encode(resp));
+    co_return;
+  }
+  grant->head_mr = mr_or.value();
+  resp.error = ErrorCode::kNone;
+  resp.grant_ref = grant->grant_ref;
+  resp.start_offset = areq.offset;
+  resp.head_addr = grant->head_mr->addr();
+  resp.head_rkey = grant->head_mr->rkey();
+  RingConsumeGrant* raw = grant.get();
+  ring_grants_[raw->grant_ref] = std::move(grant);
+  sim::Spawn(sim_, RingPushLoop(raw));
+  SendResponse(req.conn, Encode(resp));
+}
+
+sim::Co<void> KafkaDirectBroker::RingPushLoop(RingConsumeGrant* g) {
+  PartitionState* ps = g->ps;
+  const uint64_t tail_every = config_.ring_tail_interval_bytes > 0
+                                  ? config_.ring_tail_interval_bytes
+                                  : 16 * 1024;
+  uint64_t since_tail = 0;
+  while (!g->closed) {
+    auto qp_it = rdma_qps_.find(g->qp_num);
+    if (qp_it == rdma_qps_.end()) break;  // consumer disconnected
+    std::shared_ptr<rdma::QueuePair> qp = qp_it->second;
+    uint64_t readable = ReadablePosition(*ps, g->seg_index);
+    while (!g->closed && g->read_pos < readable) {
+      // Ring space from the consumer's one-sided head write-backs; chunks
+      // never wrap so each push is a single contiguous Write.
+      uint64_t consumed = DecodeFixed64(g->head_word.data());
+      uint64_t space = g->ring_capacity - (g->pushed - consumed);
+      uint64_t ring_off = g->pushed % g->ring_capacity;
+      uint64_t chunk = std::min({readable - g->read_pos, space,
+                                 g->ring_capacity - ring_off});
+      if (chunk == 0) break;  // ring full: wait for the consumer to drain
+      kafka::Segment* seg = ps->log.segments()[g->seg_index].get();
+      rdma::WorkRequest wr;
+      wr.opcode = rdma::Opcode::kWrite;
+      wr.signaled = false;
+      wr.local_addr = seg->data() + g->read_pos;  // zero copy from TP file
+      wr.length = static_cast<uint32_t>(chunk);
+      wr.remote_addr = g->ring_addr + ring_off;
+      wr.rkey = g->ring_rkey;
+      Status st = qp->PostSend(wr);
+      if (st.IsResourceExhausted()) {
+        co_await sim::Delay(sim_, 1000);  // send queue full; retry shortly
+        continue;
+      }
+      if (!st.ok()) {
+        g->closed = true;
+        break;
+      }
+      g->read_pos += chunk;
+      g->pushed += chunk;
+      since_tail += chunk;
+      kd_obs_.ring_pushed_bytes->Increment(chunk);
+      if (since_tail >= tail_every) {
+        PublishRingTail(g, qp.get());
+        since_tail = 0;
+      }
+      // Per-push CPU on the broker's pusher, mirroring the replication
+      // worker's post cost.
+      co_await sim::Delay(sim_, cost().kafka.replication_post_ns);
+      readable = ReadablePosition(*ps, g->seg_index);
+    }
+    if (g->closed) break;
+    // Roll to the next segment once this one is sealed and fully pushed.
+    kafka::Segment* seg = ps->log.segments()[g->seg_index].get();
+    if (seg->sealed() && g->read_pos >= seg->size() &&
+        g->seg_index + 1 < static_cast<int>(ps->log.segments().size())) {
+      g->seg_index++;
+      g->read_pos = 0;
+      continue;
+    }
+    // Idle (caught up, or the ring is full): publish any partial tail so
+    // the consumer sees what has landed, then wait for new commits or for
+    // the consumer's head to advance.
+    if (g->pushed != g->published_tail) {
+      PublishRingTail(g, qp.get());
+      since_tail = 0;
+    }
+    if (g->read_pos < ReadablePosition(*ps, g->seg_index)) {
+      co_await sim::Delay(sim_, cost().cpu.poll_iteration_ns);
+    } else {
+      (void)co_await ps->hwm_advanced.WaitFor(5 * 1000 * 1000);
+    }
+  }
+  (void)rnic_.DeregisterMemory(g->head_mr);
+  ring_grants_.erase(g->grant_ref);  // destroys g
+}
+
+void KafkaDirectBroker::PublishRingTail(RingConsumeGrant* g,
+                                        rdma::QueuePair* qp) {
+  rdma::WorkRequest wr;
+  wr.opcode = rdma::Opcode::kWrite;
+  wr.signaled = false;
+  wr.send_inline = true;
+  EncodeFixed64(wr.inline_data, g->pushed);
+  wr.length = 8;
+  wr.remote_addr = g->tail_addr;
+  wr.rkey = g->tail_rkey;
+  if (qp->PostSend(wr).ok()) {
+    g->published_tail = g->pushed;
+    // The tail write is the ring protocol's entire notification traffic:
+    // one counter tick per publish, amortized over many records.
+    kd_obs_.notifications->Increment();
+  }
+}
+
 CommitSlot* KafkaDirectBroker::GetOrCreateCommitSlot(
     PartitionState& ps, const std::string& group) {
   KdPartitionExt* ext = Ext(ps);
@@ -1261,6 +1551,13 @@ sim::Co<void> KafkaDirectBroker::HandleUnregister(Request req) {
   kafka::RdmaUnregisterResponse resp;
   if (!kafka::Decode(Slice(req.frame), &ureq).ok()) {
     resp.error = ErrorCode::kInvalidRequest;
+    SendResponse(req.conn, Encode(resp));
+    co_return;
+  }
+  auto ring_it = ring_grants_.find(ureq.file_ref);
+  if (ring_it != ring_grants_.end()) {
+    // The push loop owns teardown; it wakes, sees `closed`, and erases.
+    ring_it->second->closed = true;
     SendResponse(req.conn, Encode(resp));
     co_return;
   }

@@ -60,6 +60,20 @@ struct RdmaFileState {
   bool hole_watch_armed = false;
   /// Pulsed whenever next_expected_order advances (or the file aborts).
   std::unique_ptr<sim::Event> commit_event;
+
+  /// Receiver-paced replication credits (follower side, DESIGN.md §12):
+  /// instead of 1-credit-per-commit, grants are sized from the observed
+  /// drain rate and batched, with total credits in flight capped below the
+  /// posted-receive pool so a fast leader can never RNR a slow follower.
+  struct CreditPacer {
+    uint32_t qp_num = 0;              // leader QP (learned at first commit)
+    uint32_t credits_outstanding = 0; // granted minus drained
+    uint32_t pending_grants = 0;      // drained commits not yet re-granted
+    double ewma_commit_interval_ns = 0;
+    sim::TimeNs last_commit_ns = 0;
+    int64_t last_leo_sent = -1;
+  };
+  CreditPacer pacer;
 };
 
 /// One committed range of the leader's head file awaiting replication.
@@ -120,6 +134,32 @@ struct ConsumerSession {
 void WriteSlot(uint8_t* slot, uint64_t last_readable, bool is_mutable);
 uint64_t SlotLastReadable(const uint8_t* slot);
 bool SlotMutable(const uint8_t* slot);
+
+/// Broker-side state of one ring-buffer consume grant (DESIGN.md §12): the
+/// broker pushes committed bytes into a consumer-registered ring MR with
+/// plain RDMA Writes and periodically publishes a tail pointer, replacing
+/// both consumer-driven Reads and per-batch metadata-slot notifications.
+struct RingConsumeGrant {
+  uint32_t grant_ref = 0;
+  kafka::PartitionState* ps = nullptr;
+  uint32_t qp_num = 0;               // consumer QP the pushes ride on
+  int seg_index = 0;
+  uint64_t read_pos = 0;             // next unpushed byte in seg_index
+  // Consumer-registered ring data MR and tail word MR.
+  uint64_t ring_addr = 0;
+  uint32_t ring_rkey = 0;
+  uint64_t ring_capacity = 0;
+  uint64_t tail_addr = 0;
+  uint32_t tail_rkey = 0;
+  // Flow state. `pushed` is the monotonically growing byte count written
+  // into the ring; the consumer RDMA-Writes its consumed count into
+  // head_word, which the broker reads locally for free.
+  uint64_t pushed = 0;
+  uint64_t published_tail = 0;       // last `pushed` value sent to consumer
+  std::vector<uint8_t> head_word;    // u64 LE consumed count
+  rdma::MemoryRegionPtr head_mr;
+  bool closed = false;
+};
 
 /// EXTENSION (§5.4 future work): an RDMA-writable 8-byte committed-offset
 /// slot per consumer group, making offset commits one-sided writes.
@@ -243,6 +283,18 @@ class KafkaDirectBroker : public kafka::Broker {
   // --- push replication (follower side) ---
   sim::Co<void> HandleReplicaAccess(Request req);
   void GrantCredit(uint32_t qp_num, kafka::PartitionState* ps);
+  /// Receiver-paced flow control (DESIGN.md §12): per-commit pacer update.
+  /// Sizes the credit window from the observed drain rate and batches
+  /// grants instead of echoing one credit per commit.
+  void PacedCreditOnCommit(RdmaFileState* fs, uint32_t qp_num);
+  /// Sends any pending batched grant / LEO update for a paced replica file.
+  void FlushPacedCredits(RdmaFileState* fs);
+  /// Periodic flush so batched grants cannot stall LEO/HWM propagation.
+  sim::Co<void> CreditFlushLoop(RdmaFileState* fs);
+  uint32_t PacedTargetWindow(const RdmaFileState* fs) const;
+  /// Hard cap on credits in flight: 3/4 of the per-QP ctrl receive pool,
+  /// so a paced leader can never exhaust the follower's posted receives.
+  uint32_t PacedCreditCap() const;
 
   // --- consume module ---
   sim::Co<void> HandleConsumeAccess(Request req);
@@ -254,6 +306,15 @@ class KafkaDirectBroker : public kafka::Broker {
   void UpdateConsumeSlots(kafka::PartitionState& ps);
   uint64_t ReadablePosition(kafka::PartitionState& ps, int seg_index) const;
 
+  // --- ring-buffer consume protocol (DESIGN.md §12) ---
+  sim::Co<void> HandleRingConsumeAccess(Request req);
+  /// Per-grant pusher: streams committed bytes into the consumer ring with
+  /// unsignaled Writes and publishes the tail every ring_tail_interval_bytes
+  /// (plus whenever the pusher goes idle with unpublished bytes).
+  sim::Co<void> RingPushLoop(RingConsumeGrant* grant);
+  /// Inline 8-byte tail-pointer Write; counts as one notification.
+  void PublishRingTail(RingConsumeGrant* grant, rdma::QueuePair* qp);
+
   std::shared_ptr<rdma::CompletionQueue> rdma_cq_;   // shared recv/send CQ
   std::map<uint32_t, std::shared_ptr<rdma::QueuePair>> rdma_qps_;
   std::map<uint16_t, std::unique_ptr<RdmaFileState>> rdma_files_;
@@ -262,6 +323,7 @@ class KafkaDirectBroker : public kafka::Broker {
   std::map<const net::MessageStream*, std::unique_ptr<ConsumerSession>>
       consumer_sessions_;
   std::map<uint32_t, std::unique_ptr<ConsumeGrant>> consume_grants_;
+  std::map<uint32_t, std::unique_ptr<RingConsumeGrant>> ring_grants_;
   /// Ctrl-message receive buffers. With use_srq, one arena sized to the
   /// SRQ (wr_id = slot index) serves every QP; otherwise each QP gets a
   /// pool of kCtrlMsgSize buffers recycled through buf_pool_ when the QP
@@ -282,6 +344,8 @@ class KafkaDirectBroker : public kafka::Broker {
     obs::Counter* notifications = nullptr;
     obs::Counter* ctrl_msgs = nullptr;
     obs::Gauge* produce_file_pos = nullptr;
+    /// §12 ring-consume protocol: bytes pushed into consumer rings.
+    obs::Counter* ring_pushed_bytes = nullptr;
   };
   KdObsHandles kd_obs_;
   /// Loopback QP pair for the broker's own FAA on shared files (§4.2.2:

@@ -37,6 +37,7 @@ sim::Co<Status> RdmaConsumer::Connect(KafkaDirectBroker* leader) {
   qp_ = rnic_.CreateQp(cq_, cq_);
   auto broker_qp = co_await leader->AcceptRdma(qp_);
   if (!broker_qp.ok()) co_return broker_qp.status();
+  broker_qp_num_ = broker_qp.value()->qp_num();
   co_return Status::OK();
 }
 
@@ -47,8 +48,56 @@ sim::Co<Status> RdmaConsumer::SubscribeImpl(kafka::TopicPartitionId tp,
   sub->next_offset = offset;
   Subscription* raw = sub.get();
   subs_[tp] = std::move(sub);
+  if (config_.ring_consume) {
+    co_return co_await RequestRingAccess(raw, offset);
+  }
   co_return co_await RequestAccess(raw, offset,
                                    /*unregister_current=*/false);
+}
+
+sim::Co<Status> RdmaConsumer::RequestRingAccess(Subscription* sub,
+                                                int64_t offset) {
+  sub->ring = true;
+  sub->ring_buf.assign(config_.ring_capacity, 0);
+  sub->tail_word.assign(8, 0);
+  // Register the ring and the 8-byte tail word for broker writes
+  // (mmap + ibv_reg_mr, one-time).
+  co_await sim::Delay(sim_, rnic_.RegistrationCost(sub->ring_buf.size()) +
+                                rnic_.RegistrationCost(8));
+  auto ring_mr = rnic_.RegisterMemory(sub->ring_buf.data(),
+                                      sub->ring_buf.size(),
+                                      rdma::kAccessRemoteWrite);
+  if (!ring_mr.ok()) co_return ring_mr.status();
+  sub->ring_mr = ring_mr.value();
+  auto tail_mr = rnic_.RegisterMemory(sub->tail_word.data(), 8,
+                                      rdma::kAccessRemoteWrite);
+  if (!tail_mr.ok()) co_return tail_mr.status();
+  sub->tail_mr = tail_mr.value();
+
+  kafka::RdmaRingConsumeAccessRequest req;
+  req.tp = sub->tp;
+  req.offset = offset;
+  req.broker_qp = broker_qp_num_;
+  req.ring_addr = sub->ring_mr->addr();
+  req.ring_rkey = sub->ring_mr->rkey();
+  req.ring_capacity = sub->ring_buf.size();
+  req.tail_addr = sub->tail_mr->addr();
+  req.tail_rkey = sub->tail_mr->rkey();
+  KD_CO_RETURN_IF_ERROR(co_await ctrl_->Send(Encode(req), false));
+  auto frame = co_await ctrl_->Recv();
+  if (!frame.ok()) co_return frame.status();
+  kafka::RdmaRingConsumeAccessResponse resp;
+  KD_CO_RETURN_IF_ERROR(kafka::Decode(Slice(frame.value()), &resp));
+  if (resp.error != ErrorCode::kNone) {
+    co_return Status::PermissionDenied(
+        std::string("RDMA ring consume access denied: ") +
+        ErrorCodeName(resp.error));
+  }
+  sub->grant_ref = resp.grant_ref;
+  sub->broker_head_addr = resp.head_addr;
+  sub->broker_head_rkey = resp.head_rkey;
+  sub->partial.clear();
+  co_return Status::OK();
 }
 
 sim::Co<Status> RdmaConsumer::RequestAccess(Subscription* sub, int64_t offset,
@@ -238,6 +287,7 @@ sim::Co<StatusOr<std::vector<OwnedRecord>>> RdmaConsumer::PollImpl(
     co_return Status::NotFound("not subscribed: " + tp.ToString());
   }
   Subscription* sub = it->second.get();
+  if (sub->ring) co_return co_await PollRing(sub);
   const CostModel& cm = fabric_.cost();
   std::vector<OwnedRecord> out;
   sim::TimeNs work_ns = cm.kafka.rdma_consumer_api_ns;
@@ -285,6 +335,67 @@ sim::Co<StatusOr<std::vector<OwnedRecord>>> RdmaConsumer::PollImpl(
     co_await sim::Delay(sim_, work_ns);
   }
   co_return out;
+}
+
+sim::Co<StatusOr<std::vector<OwnedRecord>>> RdmaConsumer::PollRing(
+    Subscription* sub) {
+  const CostModel& cm = fabric_.cost();
+  const uint64_t cap = sub->ring_buf.size();
+  std::vector<OwnedRecord> out;
+  sim::TimeNs work_ns = cm.kafka.rdma_consumer_api_ns;
+  for (int round = 0; round < 1024 && out.empty(); round++) {
+    // The tail word is RNIC-written; checking it is a local load.
+    uint64_t tail = DecodeFixed64(sub->tail_word.data());
+    if (tail == sub->consumed) {
+      co_await sim::Delay(sim_, cm.cpu.poll_iteration_ns);
+      tail = DecodeFixed64(sub->tail_word.data());
+      if (tail == sub->consumed) break;  // genuinely nothing new
+    }
+    uint64_t n = tail - sub->consumed;
+    size_t old_size = sub->partial.size();
+    sub->partial.resize(old_size + n);
+    // Drain the ring into the reassembly buffer (a wrap costs at most two
+    // memcpys), then free the space with a one-sided head write-back.
+    uint64_t off = sub->consumed % cap;
+    uint64_t first = std::min(n, cap - off);
+    std::memcpy(sub->partial.data() + old_size, sub->ring_buf.data() + off,
+                first);
+    if (n > first) {
+      std::memcpy(sub->partial.data() + old_size + first,
+                  sub->ring_buf.data(), n - first);
+    }
+    work_ns += static_cast<sim::TimeNs>(cm.kafka.consumer_copy_ns_per_byte *
+                                        static_cast<double>(n));
+    sub->consumed += n;
+    // Report drained space before the unreported span can stall the
+    // broker's pusher (at the latest after a quarter ring).
+    if (sub->consumed - sub->head_written >=
+        std::min<uint64_t>(config_.head_update_bytes, cap / 4)) {
+      WriteRingHead(sub);
+    }
+    KD_CO_RETURN_IF_ERROR(DrainPartial(sub, &out, &work_ns));
+  }
+  if (!out.empty()) {
+    fetched_records_ += out.size();
+    co_await sim::Delay(sim_, work_ns);
+  }
+  co_return out;
+}
+
+void RdmaConsumer::WriteRingHead(Subscription* sub) {
+  rdma::WorkRequest wr;
+  wr.wr_id = next_wr_id_++;
+  wr.opcode = rdma::Opcode::kWrite;
+  wr.signaled = false;  // fire-and-forget; no CQE to drain
+  wr.send_inline = true;
+  EncodeFixed64(wr.inline_data, sub->consumed);
+  wr.length = 8;
+  wr.remote_addr = sub->broker_head_addr;
+  wr.rkey = sub->broker_head_rkey;
+  if (qp_->PostSend(wr).ok()) {
+    sub->head_written = sub->consumed;
+    ring_head_writes_++;
+  }
 }
 
 }  // namespace kd

@@ -28,6 +28,18 @@ struct RdmaConsumerConfig {
   /// Bytes per RDMA Read; the paper's default (2 KiB) trades ~3 us latency
   /// against >5 GiB/s bandwidth.
   uint32_t fetch_size = 2048;
+
+  /// Ring-buffer consume protocol (DESIGN.md §12): the broker pushes
+  /// committed bytes into a consumer-registered ring MR and periodically
+  /// publishes a tail pointer; the consumer drains locally and write-backs
+  /// its consumed count one-sidedly. No RDMA Reads, no per-batch
+  /// notifications. Requires broker rdma_consume + rdma_ring_consume.
+  bool ring_consume = false;
+  /// Ring data buffer size in bytes.
+  uint64_t ring_capacity = 1 << 20;
+  /// Write the consumed count back to the broker after this many drained
+  /// bytes (space-reclamation granularity seen by the broker's pusher).
+  uint64_t head_update_bytes = 64 * 1024;
 };
 
 class RdmaConsumer {
@@ -94,6 +106,18 @@ class RdmaConsumer {
     bool is_mutable = false;
     int32_t slot_index = -1;
     std::vector<uint8_t> partial;  // reassembly buffer
+
+    // Ring-consume state (config.ring_consume).
+    bool ring = false;
+    uint32_t grant_ref = 0;
+    std::vector<uint8_t> ring_buf;      // broker-written data ring
+    rdma::MemoryRegionPtr ring_mr;
+    std::vector<uint8_t> tail_word;     // broker-written pushed-byte count
+    rdma::MemoryRegionPtr tail_mr;
+    uint64_t broker_head_addr = 0;      // broker-side consumed-count word
+    uint32_t broker_head_rkey = 0;
+    uint64_t consumed = 0;              // bytes drained from the ring
+    uint64_t head_written = 0;          // last consumed value written back
   };
 
   sim::Co<Status> SubscribeImpl(kafka::TopicPartitionId tp, int64_t offset);
@@ -107,6 +131,14 @@ class RdmaConsumer {
                                        uint8_t* dst, uint32_t len);
   sim::Co<Status> RequestAccess(Subscription* sub, int64_t offset,
                                 bool unregister_current);
+  /// Ring-consume handshake: registers the ring + tail MRs and asks the
+  /// broker to start pushing from `offset`.
+  sim::Co<Status> RequestRingAccess(Subscription* sub, int64_t offset);
+  /// Ring-mode Poll: drains [consumed, tail) from the local ring.
+  sim::Co<StatusOr<std::vector<kafka::OwnedRecord>>> PollRing(
+      Subscription* sub);
+  /// One-sided write-back of the consumed count to the broker's head word.
+  void WriteRingHead(Subscription* sub);
   /// Extracts complete batches from the reassembly buffer into records.
   Status DrainPartial(Subscription* sub,
                       std::vector<kafka::OwnedRecord>* out,
@@ -123,6 +155,7 @@ class RdmaConsumer {
   std::shared_ptr<rdma::CompletionQueue> cq_;
   std::shared_ptr<rdma::QueuePair> qp_;
   net::MessageStreamPtr ctrl_;
+  uint32_t broker_qp_num_ = 0;  // broker end of qp_ (ring pushes ride it)
 
   uint64_t slot_region_addr_ = 0;
   uint32_t slot_rkey_ = 0;
@@ -149,6 +182,10 @@ class RdmaConsumer {
   uint64_t reads_issued_ = 0;
   uint64_t metadata_reads_ = 0;
   uint64_t file_switches_ = 0;
+  uint64_t ring_head_writes_ = 0;
+
+ public:
+  uint64_t ring_head_writes() const { return ring_head_writes_; }
 };
 
 }  // namespace kd

@@ -172,7 +172,10 @@ sim::Co<void> OneProducer(TestCluster* cluster, SystemKind kind,
           cluster->sim(), cluster->fabric(), cluster->tcp(), node,
           kd::RdmaProducerConfig{
               .exclusive = kind == SystemKind::kKdExclusive,
-              .max_inflight = options.max_inflight});
+              .max_inflight = options.max_inflight,
+              .signal_interval = options.signal_interval,
+              .notify_mode = options.notify_mode,
+              .notify_crossover_bytes = options.notify_crossover_bytes});
       kd::KafkaDirectBroker* leader = cluster->Leader(tp);
       KD_CHECK_OK(co_await rdma_producer->Connect(leader, tp));
       break;
@@ -303,8 +306,9 @@ sim::Co<void> ConsumeAll(TestCluster* cluster, SystemKind kind,
       consumed += records.value().size();
     }
   } else {
-    kd::RdmaConsumer consumer(cluster->sim(), cluster->fabric(),
-                              cluster->tcp(), node);
+    kd::RdmaConsumer consumer(
+        cluster->sim(), cluster->fabric(), cluster->tcp(), node,
+        kd::RdmaConsumerConfig{.ring_consume = options.ring_consume});
     KD_CHECK_OK(co_await consumer.Connect(cluster->Leader(tp)));
     KD_CHECK_OK(co_await consumer.Subscribe(tp, 0));
     start = cluster->sim().Now();

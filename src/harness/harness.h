@@ -135,6 +135,12 @@ struct ProduceOptions {
   int max_inflight = 1;       // 1 = latency mode (sync round trips)
   int16_t acks = -1;
   int replication_factor = 1;
+  /// Datapath-protocol knobs for the RDMA producers (DESIGN.md §12);
+  /// defaults reproduce the paper's schedule exactly. Ignored by the
+  /// TCP/OSU systems.
+  int signal_interval = 1;
+  kd::NotifyMode notify_mode = kd::NotifyMode::kWriteImm;
+  uint32_t notify_crossover_bytes = 4096;
 };
 
 struct WorkloadResult {
@@ -165,6 +171,10 @@ struct ConsumeOptions {
   /// Fetch at most this many records per poll (1 reproduces the paper's
   /// "broker replies with one record for each fetch request").
   int records_per_poll = 1;
+  /// Ring-buffer consume protocol (DESIGN.md §12) for the RDMA consumer;
+  /// requires the deployment to enable broker.rdma_ring_consume. Ignored
+  /// by the TCP/OSU systems.
+  bool ring_consume = false;
 };
 
 /// Preloads the topic (via the RDMA produce path for speed) and measures

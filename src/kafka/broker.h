@@ -73,6 +73,29 @@ struct BrokerConfig {
   /// HWM update) into single-doorbell postlists.
   bool rdma_postlist = false;
 
+  // --- Next-generation datapath protocols (DESIGN.md §12). All default
+  // off so the baseline event schedule and golden traces are unchanged. ---
+
+  /// Ring-buffer Write consume: instead of consumers issuing one-sided
+  /// Reads paced by metadata-slot polling, the broker pushes committed
+  /// bytes into a consumer-registered ring MR and publishes a tail pointer
+  /// every `ring_tail_interval_bytes` — notification and reclamation are
+  /// amortized over many records. Requires rdma_consume.
+  bool rdma_ring_consume = false;
+  /// Publish the ring tail after this many pushed bytes (always published
+  /// when the pusher goes idle so the consumer never waits on a partial
+  /// interval). <= 0 takes 16 KiB.
+  uint64_t ring_tail_interval_bytes = 0;
+
+  /// Receiver-paced replication credits: the follower grants credits from
+  /// its own commit (drain) rate instead of 1-per-write, and caps credits
+  /// in flight below its posted-receive pool — a slow follower throttles
+  /// the leader without RNR storms, and credit messages are batched.
+  bool receiver_paced_credits = false;
+  /// Idle flush interval for batched credit grants (bounds LEO/HWM
+  /// propagation delay when the drain pauses). <= 0 takes 200 us.
+  sim::TimeNs credit_flush_interval_ns = 0;
+
   // Shared RDMA produce: how long request i waits for request i-1 before
   // the broker aborts and revokes access (§4.2.2).
   sim::TimeNs shared_produce_hole_timeout = 5 * 1000 * 1000;  // 5 ms

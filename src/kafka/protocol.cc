@@ -327,6 +327,56 @@ Status Decode(Slice frame, RdmaConsumeAccessResponse* m) {
   return Status::OK();
 }
 
+std::vector<uint8_t> Encode(const RdmaRingConsumeAccessRequest& m) {
+  BinaryWriter w;
+  PutHeader(&w, MsgType::kRdmaRingConsumeAccessRequest);
+  PutTp(&w, m.tp);
+  w.PutI64(m.offset);
+  w.PutU32(m.broker_qp);
+  w.PutU64(m.ring_addr);
+  w.PutU32(m.ring_rkey);
+  w.PutU64(m.ring_capacity);
+  w.PutU64(m.tail_addr);
+  w.PutU32(m.tail_rkey);
+  return w.Release();
+}
+
+Status Decode(Slice frame, RdmaRingConsumeAccessRequest* m) {
+  BinaryReader r(frame);
+  KD_RETURN_IF_ERROR(GetHeader(&r, MsgType::kRdmaRingConsumeAccessRequest));
+  KD_RETURN_IF_ERROR(GetTp(&r, &m->tp));
+  KD_RETURN_IF_ERROR(r.GetI64(&m->offset));
+  KD_RETURN_IF_ERROR(r.GetU32(&m->broker_qp));
+  KD_RETURN_IF_ERROR(r.GetU64(&m->ring_addr));
+  KD_RETURN_IF_ERROR(r.GetU32(&m->ring_rkey));
+  KD_RETURN_IF_ERROR(r.GetU64(&m->ring_capacity));
+  KD_RETURN_IF_ERROR(r.GetU64(&m->tail_addr));
+  KD_RETURN_IF_ERROR(r.GetU32(&m->tail_rkey));
+  return Status::OK();
+}
+
+std::vector<uint8_t> Encode(const RdmaRingConsumeAccessResponse& m) {
+  BinaryWriter w;
+  PutHeader(&w, MsgType::kRdmaRingConsumeAccessResponse);
+  w.PutU16(static_cast<uint16_t>(m.error));
+  w.PutU32(m.grant_ref);
+  w.PutI64(m.start_offset);
+  w.PutU64(m.head_addr);
+  w.PutU32(m.head_rkey);
+  return w.Release();
+}
+
+Status Decode(Slice frame, RdmaRingConsumeAccessResponse* m) {
+  BinaryReader r(frame);
+  KD_RETURN_IF_ERROR(GetHeader(&r, MsgType::kRdmaRingConsumeAccessResponse));
+  KD_RETURN_IF_ERROR(GetError(&r, &m->error));
+  KD_RETURN_IF_ERROR(r.GetU32(&m->grant_ref));
+  KD_RETURN_IF_ERROR(r.GetI64(&m->start_offset));
+  KD_RETURN_IF_ERROR(r.GetU64(&m->head_addr));
+  KD_RETURN_IF_ERROR(r.GetU32(&m->head_rkey));
+  return Status::OK();
+}
+
 std::vector<uint8_t> Encode(const RdmaUnregisterRequest& m) {
   BinaryWriter w;
   PutHeader(&w, MsgType::kRdmaUnregisterRequest);

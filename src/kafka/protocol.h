@@ -40,6 +40,8 @@ enum class MsgType : uint16_t {
   kRdmaCommitAccessResponse,
   kFetchCommittedOffsetRequest,
   kFetchCommittedOffsetResponse,
+  kRdmaRingConsumeAccessRequest,
+  kRdmaRingConsumeAccessResponse,
 };
 
 enum class ErrorCode : int16_t {
@@ -163,6 +165,33 @@ struct RdmaConsumeAccessResponse {
   uint32_t slot_rkey = 0;
 };
 
+/// Ring-buffer Write consume (DESIGN.md §12): the consumer registers a
+/// ring MR plus an 8-byte tail word, both broker-writable; the broker
+/// pushes committed bytes into the ring and periodically Writes the total
+/// pushed byte count into the tail word. The response carries the broker's
+/// head word — an 8-byte broker-side slot the consumer Writes its consumed
+/// byte count into, which is the (amortized) buffer-reclamation channel.
+struct RdmaRingConsumeAccessRequest {
+  TopicPartitionId tp;
+  int64_t offset = 0;
+  /// Broker-side QP number of this consumer's RC connection (the QP the
+  /// broker pushes ring writes on).
+  uint32_t broker_qp = 0;
+  uint64_t ring_addr = 0;
+  uint32_t ring_rkey = 0;
+  uint64_t ring_capacity = 0;
+  uint64_t tail_addr = 0;
+  uint32_t tail_rkey = 0;
+};
+
+struct RdmaRingConsumeAccessResponse {
+  ErrorCode error = ErrorCode::kNone;
+  uint32_t grant_ref = 0;     // broker-side handle for the push session
+  int64_t start_offset = 0;   // Kafka offset of the first pushed byte
+  uint64_t head_addr = 0;     // broker-side consumed-count word
+  uint32_t head_rkey = 0;
+};
+
 /// Consumer tells the broker a file can be unregistered (§4.4.2).
 struct RdmaUnregisterRequest {
   TopicPartitionId tp;
@@ -240,6 +269,8 @@ std::vector<uint8_t> Encode(const RdmaProduceAccessRequest& m);
 std::vector<uint8_t> Encode(const RdmaProduceAccessResponse& m);
 std::vector<uint8_t> Encode(const RdmaConsumeAccessRequest& m);
 std::vector<uint8_t> Encode(const RdmaConsumeAccessResponse& m);
+std::vector<uint8_t> Encode(const RdmaRingConsumeAccessRequest& m);
+std::vector<uint8_t> Encode(const RdmaRingConsumeAccessResponse& m);
 std::vector<uint8_t> Encode(const RdmaUnregisterRequest& m);
 std::vector<uint8_t> Encode(const RdmaUnregisterResponse& m);
 std::vector<uint8_t> Encode(const ReplicaRdmaAccessRequest& m);
@@ -261,6 +292,8 @@ Status Decode(Slice frame, RdmaProduceAccessRequest* m);
 Status Decode(Slice frame, RdmaProduceAccessResponse* m);
 Status Decode(Slice frame, RdmaConsumeAccessRequest* m);
 Status Decode(Slice frame, RdmaConsumeAccessResponse* m);
+Status Decode(Slice frame, RdmaRingConsumeAccessRequest* m);
+Status Decode(Slice frame, RdmaRingConsumeAccessResponse* m);
 Status Decode(Slice frame, RdmaUnregisterRequest* m);
 Status Decode(Slice frame, RdmaUnregisterResponse* m);
 Status Decode(Slice frame, ReplicaRdmaAccessRequest* m);

@@ -1,5 +1,6 @@
 #include "rdma/queue_pair.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/byte_order.h"
@@ -124,6 +125,11 @@ QueuePair::QueuePair(Rnic* rnic, std::shared_ptr<CompletionQueue> send_cq,
   agg_counters_.recv = ob.metrics.GetCounter("kd.rdma.ops.recv");
   agg_counters_.inline_sends = ob.metrics.GetCounter("kd.rdma.inline_sends");
   agg_counters_.bytes = ob.metrics.GetCounter("kd.rdma.bytes_posted");
+  sig_counters_.wrs_posted = ob.metrics.GetCounter("kd.rdma.wrs_posted");
+  sig_counters_.wrs_signaled = ob.metrics.GetCounter("kd.rdma.wrs_signaled");
+  sig_counters_.doorbells = ob.metrics.GetCounter("kd.rdma.doorbells");
+  sig_counters_.cqes = ob.metrics.GetCounter("kd.rdma.cqes");
+  sig_counters_.rnr_events = ob.metrics.GetCounter("kd.rdma.rnr_events");
   postlist_hist_ = ob.metrics.GetHistogram("kd.rdma.postlist_len");
   tracer_ = &ob.tracer;
   if (tracer_->enabled()) {
@@ -192,6 +198,9 @@ Status QueuePair::PostSend(const WorkRequest& wr) {
   }
   qp_counters_.bytes->Increment(queued.length);
   agg_counters_.bytes->Increment(queued.length);
+  sig_counters_.wrs_posted->Increment();
+  if (queued.signaled) sig_counters_.wrs_signaled->Increment();
+  if (!queued.chained) sig_counters_.doorbells->Increment();
   // Async span: post -> fabric -> initiator completion. Ends in
   // CompleteInitiator when the CQE (or flush) is delivered.
   queued.span_id = tracer_->AsyncBegin(trace_track_, SpanName(queued.opcode));
@@ -283,6 +292,7 @@ bool QueuePair::TakeRecv(RecvRequest* out) {
 
 void QueuePair::FailRnr(const WorkRequest& wr, QueuePair* initiator,
                         Opcode rop, sim::TimeNs prop) {
+  sig_counters_.rnr_events->Increment();
   if (srq_ != nullptr) {
     // SRQ drained: the receiver's CQ sees the RNR error (its QP is what
     // breaks), and the initiator's WR is flushed with the teardown.
@@ -337,17 +347,36 @@ void QueuePair::Fail() {
 void QueuePair::CompleteInitiator(const WorkRequest& wr, WcStatus status,
                                   sim::TimeNs when, uint32_t byte_len) {
   auto self = shared_from_this();
-  sim_.ScheduleAt(when, [self, wr, status, byte_len]() {
-    if (self->outstanding_ > 0) self->outstanding_--;
+  const bool cqe = wr.signaled || status != WcStatus::kSuccess;
+  if (cqe) when += rnic_->cost().rdma.cqe_ns;
+  sim_.ScheduleAt(when, [self, wr, status, byte_len, cqe]() {
+    if (!self->lazy_sq_reclaim_) {
+      // Historical behaviour: every completion frees its SQ slot as soon
+      // as the RNIC is done with it, CQE or not.
+      if (self->outstanding_ > 0) self->outstanding_--;
+    } else if (cqe) {
+      // Selective signaling: a CQE tells the driver that this WR and every
+      // unsignaled WR completed since the previous CQE are done (RC
+      // completes in post order) — reclaim the whole run.
+      size_t reclaim = 1 + self->sq_unreclaimed_;
+      self->sq_unreclaimed_ = 0;
+      self->outstanding_ -= std::min(self->outstanding_, reclaim);
+    } else {
+      // No CQE: the driver cannot observe this completion yet. The slot
+      // stays occupied until the next signaled/errored WR completes — the
+      // SQ-full-because-nothing-signaled hazard.
+      self->sq_unreclaimed_++;
+    }
     self->tracer_->AsyncEnd(self->trace_track_, SpanName(wr.opcode),
                             wr.span_id);
-    if (wr.signaled || status != WcStatus::kSuccess) {
+    if (cqe) {
       WorkCompletion wc;
       wc.wr_id = wr.wr_id;
       wc.opcode = wr.opcode;
       wc.status = status;
       wc.byte_len = byte_len;
       wc.qp_num = self->qp_num_;
+      self->sig_counters_.cqes->Increment();
       self->send_cq_->Push(wc);
     }
   });
@@ -355,7 +384,8 @@ void QueuePair::CompleteInitiator(const WorkRequest& wr, WcStatus status,
 
 void QueuePair::CompleteRecv(const WorkCompletion& wc, sim::TimeNs when) {
   auto self = shared_from_this();
-  sim_.ScheduleAt(when, [self, wc]() {
+  sim_.ScheduleAt(when + rnic_->cost().rdma.notification_ns, [self, wc]() {
+    self->sig_counters_.cqes->Increment();
     self->recv_cq_->Push(wc);
   });
 }

@@ -81,6 +81,19 @@ class QueuePair : public std::enable_shared_from_this<QueuePair> {
   size_t posted_recvs() const { return recvs_.size(); }
   SharedReceiveQueue* srq() const { return srq_.get(); }
 
+  /// Selective-signaling mode (DESIGN.md §12): when on, an unsignaled WR's
+  /// send-queue slot is NOT reclaimed at completion time — it is freed
+  /// lazily when the next CQE-generating (signaled or errored) completion
+  /// lands, exactly like a real RNIC where the driver only learns about SQ
+  /// progress from CQEs. Off (the default) keeps the historical behaviour:
+  /// every completion frees its slot immediately, which is what a QP whose
+  /// WRs are all unsignaled (e.g. broker ctrl sends) relies on. Callers
+  /// that enable this MUST post a signaled WR at least every
+  /// `max_send_wr / 2` posts or the SQ wedges (the classic hazard; see
+  /// tests/rdma/selective_signaling_test.cc).
+  void set_selective_signaling(bool on) { lazy_sq_reclaim_ = on; }
+  bool selective_signaling() const { return lazy_sq_reclaim_; }
+
   /// Called by CompletionQueue on overflow.
   void FailFromCq();
 
@@ -135,6 +148,13 @@ class QueuePair : public std::enable_shared_from_this<QueuePair> {
   sim::Event error_event_;
 
   size_t outstanding_ = 0;
+  /// Selective signaling: lazy SQ-slot reclamation state. When
+  /// `lazy_sq_reclaim_` is on, completed-but-unsignaled WRs park their slot
+  /// here until the next CQE reclaims the whole run. A counter (not
+  /// positional bookkeeping) because per-QP completion times are not
+  /// monotone across op types; only the count of freeable slots matters.
+  bool lazy_sq_reclaim_ = false;
+  size_t sq_unreclaimed_ = 0;
   /// Responder response-channel ordering: responses (acks, read data,
   /// atomic results) leave in execution order.
   sim::TimeNs resp_chain_ = 0;
@@ -153,6 +173,17 @@ class QueuePair : public std::enable_shared_from_this<QueuePair> {
   };
   OpCounters qp_counters_;
   OpCounters agg_counters_;
+  /// Process-wide datapath-protocol counters (DESIGN.md §12): the
+  /// signaled/posted and CQE/doorbell ratios the ablation bench and the
+  /// obs invariant tests read.
+  struct SignalCounters {
+    obs::Counter* wrs_posted = nullptr;    // every send-queue WR
+    obs::Counter* wrs_signaled = nullptr;  // WRs posted with signaled=true
+    obs::Counter* doorbells = nullptr;     // non-chained posts (MMIO rings)
+    obs::Counter* cqes = nullptr;          // CQEs delivered (send+recv side)
+    obs::Counter* rnr_events = nullptr;    // receiver-not-ready teardowns
+  };
+  SignalCounters sig_counters_;
   obs::LogLinearHistogram* postlist_hist_ = nullptr;
   obs::SpanTracer* tracer_;
   obs::TrackId trace_track_ = 0;

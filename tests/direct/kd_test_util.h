@@ -22,13 +22,20 @@ class KdClusterTest : public ::testing::Test {
   void Boot(int num_brokers, int partitions, int rf,
             bool rdma_produce = true, bool rdma_replicate = false,
             bool rdma_consume = false, uint64_t segment_capacity = 8 * kMiB) {
-    fabric_ = std::make_unique<net::Fabric>(sim_, cost_);
-    tcpnet_ = std::make_unique<tcpnet::Network>(sim_, *fabric_);
     kafka::BrokerConfig cfg;
     cfg.segment_capacity = segment_capacity;
     cfg.rdma_produce = rdma_produce;
     cfg.rdma_replicate = rdma_replicate;
     cfg.rdma_consume = rdma_consume;
+    BootWithConfig(cfg, num_brokers, partitions, rf);
+  }
+
+  /// Boot with a caller-built BrokerConfig (protocol-upgrade tests need
+  /// knobs Boot() does not expose). Mutate `cost_` before calling.
+  void BootWithConfig(const kafka::BrokerConfig& cfg, int num_brokers,
+                      int partitions, int rf) {
+    fabric_ = std::make_unique<net::Fabric>(sim_, cost_);
+    tcpnet_ = std::make_unique<tcpnet::Network>(sim_, *fabric_);
     cluster_ = std::make_unique<kafka::Cluster>(sim_, *fabric_, *tcpnet_,
                                                 cfg, num_brokers);
     cluster_->set_broker_factory(

@@ -150,6 +150,152 @@ TEST(ObsInvariantsTest, AckedProduceImpliesHwmAtLogEnd) {
   EXPECT_GT(wait->count(), 0u);
 }
 
+// --- Datapath-protocol upgrades (DESIGN.md §12): the byte-conservation
+// invariants must hold under every protocol combination, and the new
+// signaling/notification counters must agree with the knob settings. ---
+
+struct SignalingCounters {
+  uint64_t posted, signaled, cqes, produced, zero_copy, copied;
+};
+
+SignalingCounters RunSignaling(int signal_interval) {
+  DeploymentConfig deploy;
+  deploy.broker.rdma_produce = true;
+  TestCluster cluster(deploy);
+  ProduceOptions options;
+  options.records_per_producer = 200;
+  options.record_size = 512;
+  options.max_inflight = 8;
+  options.signal_interval = signal_interval;
+  auto result =
+      RunProduceWorkload(cluster, SystemKind::kKdExclusive, options);
+  KD_CHECK(result.records == 200 && result.errors == 0);
+  return SignalingCounters{
+      CounterValue(cluster, "kd.rdma.wrs_posted"),
+      CounterValue(cluster, "kd.rdma.wrs_signaled"),
+      CounterValue(cluster, "kd.rdma.cqes"),
+      CounterValue(cluster, "kd.broker.0.produce.bytes"),
+      CounterValue(cluster, "kd.direct.rdma_produce.zero_copy_bytes"),
+      CounterValue(cluster, "kd.broker.0.produce.copied_bytes")};
+}
+
+TEST(ObsInvariantsTest, SelectiveSignalingCutsCqesNotBytes) {
+  SignalingCounters every = RunSignaling(1);
+  SignalingCounters eighth = RunSignaling(8);
+
+  // Identical workload, identical datapath: the same WRs are posted and
+  // the same bytes land zero-copy — only the CQE stream thins out.
+  EXPECT_EQ(every.posted, eighth.posted);
+  EXPECT_EQ(every.produced, eighth.produced);
+  EXPECT_EQ(every.zero_copy, eighth.zero_copy);
+  EXPECT_EQ(eighth.zero_copy, eighth.produced);
+  EXPECT_EQ(eighth.copied, 0u);
+
+  // Signaled WRs (and with them CQEs) drop by roughly the interval; the
+  // broker's notification receives still complete, so compare deltas.
+  EXPECT_LE(eighth.signaled, eighth.posted);
+  EXPECT_LT(eighth.signaled * 4, every.signaled);
+  EXPECT_LT(eighth.cqes, every.cqes);
+  EXPECT_EQ(every.signaled - eighth.signaled, every.cqes - eighth.cqes);
+}
+
+uint64_t NotifyCounts(SystemKind kind, kd::NotifyMode mode,
+                      size_t record_size, uint64_t* write_imm,
+                      uint64_t* write_send) {
+  DeploymentConfig deploy;
+  deploy.broker.rdma_produce = true;
+  TestCluster cluster(deploy);
+  ProduceOptions options;
+  options.records_per_producer = 100;
+  options.record_size = record_size;
+  options.max_inflight = 4;
+  options.notify_mode = mode;
+  auto result = RunProduceWorkload(cluster, kind, options);
+  KD_CHECK(result.errors == 0);
+  *write_imm = CounterValue(cluster, "kd.direct.notify.write_imm");
+  *write_send = CounterValue(cluster, "kd.direct.notify.write_send");
+  uint64_t produced = CounterValue(cluster, "kd.broker.0.produce.bytes");
+  uint64_t zero_copy =
+      CounterValue(cluster, "kd.direct.rdma_produce.zero_copy_bytes");
+  KD_CHECK(produced == zero_copy);  // conservation holds in every mode
+  return result.records;
+}
+
+TEST(ObsInvariantsTest, NotificationModeCountersMatchTheKnob) {
+  uint64_t imm = 0, send = 0;
+  // Forced Write+Send: every record notifies via the separate Send.
+  uint64_t n = NotifyCounts(SystemKind::kKdExclusive,
+                            kd::NotifyMode::kWriteSend, 256, &imm, &send);
+  EXPECT_EQ(send, n);
+  EXPECT_EQ(imm, 0u);
+  // Adaptive, small records (wire size < crossover): all WriteWithImm.
+  n = NotifyCounts(SystemKind::kKdExclusive, kd::NotifyMode::kAdaptive, 256,
+                   &imm, &send);
+  EXPECT_EQ(imm, n);
+  EXPECT_EQ(send, 0u);
+  // Adaptive, large records (wire size > crossover): all Write+Send.
+  n = NotifyCounts(SystemKind::kKdExclusive, kd::NotifyMode::kAdaptive,
+                   8192, &imm, &send);
+  EXPECT_EQ(send, n);
+  EXPECT_EQ(imm, 0u);
+}
+
+TEST(ObsInvariantsTest, RingConsumeConservesBytesWithZeroReads) {
+  DeploymentConfig deploy;
+  deploy.broker.rdma_produce = true;
+  deploy.broker.rdma_consume = true;
+  deploy.broker.rdma_ring_consume = true;
+  TestCluster cluster(deploy);
+  ConsumeOptions options;
+  options.preload_records = 80;
+  options.record_size = 512;
+  options.ring_consume = true;
+  auto result =
+      RunConsumeWorkload(cluster, SystemKind::kKdExclusive, options);
+  ASSERT_EQ(result.records, 80u);
+
+  // Every appended byte crossed the fabric through the ring exactly once,
+  // and the consumer never issued an RDMA Read (neither data fetches nor
+  // metadata-slot polls).
+  EXPECT_EQ(CounterValue(cluster, "kd.direct.ring.pushed_bytes"),
+            CounterValue(cluster, "kd.broker.0.produce.bytes"));
+  EXPECT_EQ(CounterValue(cluster, "kd.rdma.ops.read"), 0u);
+}
+
+TEST(ObsInvariantsTest, AllProtocolUpgradesComposeCleanly) {
+  // Everything on at once: selective signaling + adaptive notification on
+  // the producer, receiver-paced credits on the replication path.
+  DeploymentConfig deploy;
+  deploy.num_brokers = 2;
+  deploy.broker.rdma_produce = true;
+  deploy.broker.rdma_replicate = true;
+  deploy.broker.receiver_paced_credits = true;
+  TestCluster cluster(deploy);
+  ProduceOptions options;
+  options.records_per_producer = 150;
+  options.record_size = 1024;
+  options.max_inflight = 8;
+  options.replication_factor = 2;
+  options.signal_interval = 4;
+  options.notify_mode = kd::NotifyMode::kAdaptive;
+  auto result =
+      RunProduceWorkload(cluster, SystemKind::kKdExclusive, options);
+  ASSERT_EQ(result.records, 150u);
+  ASSERT_EQ(result.errors, 0u);
+
+  uint64_t produced = CounterValue(cluster, "kd.broker.0.produce.bytes") +
+                      CounterValue(cluster, "kd.broker.1.produce.bytes");
+  uint64_t zero_copy =
+      CounterValue(cluster, "kd.direct.rdma_produce.zero_copy_bytes");
+  EXPECT_EQ(zero_copy, produced);
+  EXPECT_EQ(CounterValue(cluster, "kd.broker.0.produce.copied_bytes") +
+                CounterValue(cluster, "kd.broker.1.produce.copied_bytes"),
+            0u);
+  EXPECT_LT(CounterValue(cluster, "kd.rdma.wrs_signaled"),
+            CounterValue(cluster, "kd.rdma.wrs_posted"));
+  EXPECT_EQ(CounterValue(cluster, "kd.rdma.rnr_events"), 0u);
+}
+
 TEST(ObsInvariantsTest, MetricsJsonSnapshotIsWritable) {
   DeploymentConfig deploy;
   deploy.broker.rdma_produce = true;

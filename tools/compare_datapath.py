@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Compare an abl_datapath_protocols JSON report against the baseline.
+
+The bench is fully deterministic (virtual-time metrics and event counts),
+so on an unchanged datapath every metric matches the committed baseline
+exactly. A deviation beyond --tolerance (default 10%, relative, either
+direction) on any metric fails the gate: an intended protocol change must
+refresh BENCH_datapath_protocols.baseline.json; an unintended one is a
+perf or schedule regression.
+
+Zero-valued baselines (e.g. reads_per_record of the ring protocol,
+rnr_events everywhere) are invariants, not measurements: any nonzero
+current value fails regardless of tolerance.
+
+Usage: tools/compare_datapath.py BASELINE CURRENT [--tolerance 0.10]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        report = json.load(f)
+    rows = {}
+    for entry in report.get("benchmarks", []):
+        name = entry["name"]
+        rows[name] = {k: v for k, v in entry.items()
+                      if k != "name" and isinstance(v, (int, float))}
+    return rows
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--tolerance", type=float, default=0.10,
+                        help="max relative deviation per metric "
+                             "(default 0.10)")
+    args = parser.parse_args()
+
+    base = load(args.baseline)
+    cur = load(args.current)
+
+    failures = []
+    missing = sorted(set(base) - set(cur))
+    for name in sorted(base):
+        if name not in cur:
+            continue
+        for key, bval in sorted(base[name].items()):
+            if key not in cur[name]:
+                failures.append(f"{name}: metric '{key}' missing")
+                continue
+            cval = cur[name][key]
+            if bval == 0:
+                ok = cval == 0
+                delta = "" if ok else f" (now {cval})"
+            else:
+                rel = cval / bval - 1.0
+                ok = abs(rel) <= args.tolerance
+                delta = f" ({rel:+.1%})"
+            status = "ok" if ok else "DEVIATED"
+            print(f"{name:28} {key:24} {bval:12.3f} -> {cval:12.3f}"
+                  f"{delta:12} {status}")
+            if not ok:
+                failures.append(f"{name}/{key}: {bval} -> {cval}")
+
+    if missing:
+        print(f"error: benchmarks missing from current report: "
+              f"{', '.join(missing)}", file=sys.stderr)
+        return 1
+    if failures:
+        print(f"error: {len(failures)} metric(s) deviated more than "
+              f"{args.tolerance:.0%} from the committed baseline",
+              file=sys.stderr)
+        return 1
+    print(f"datapath: all metrics within {args.tolerance:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,6 +6,9 @@
 #   3. Host-perf gate: bench/run_simcore.sh, compared against the committed
 #      BENCH_simcore.baseline.json — fails on a >10% regression
 #      (tools/compare_simcore.py).
+#   3b. Datapath-protocol gate: bench/abl_datapath_protocols (deterministic
+#      virtual-time metrics) vs BENCH_datapath_protocols.baseline.json —
+#      fails on a >10% deviation (tools/compare_datapath.py).
 #   4. ASan/UBSan pass over the allocation-sensitive suites
 #      (tools/check_asan.sh).
 #   5. Optimized UBSan pass over the same plus the obs suite
@@ -31,6 +34,11 @@ if [[ "$FAST" == 0 ]]; then
   python3 "$ROOT/tools/compare_simcore.py" \
     "$ROOT/BENCH_simcore.baseline.json" "$ROOT/BENCH_simcore.json" \
     --max-regress 0.10
+  "$BUILD_DIR/bench/abl_datapath_protocols" \
+    --json="$ROOT/BENCH_datapath_protocols.json" >/dev/null
+  python3 "$ROOT/tools/compare_datapath.py" \
+    "$ROOT/BENCH_datapath_protocols.baseline.json" \
+    "$ROOT/BENCH_datapath_protocols.json" --tolerance 0.10
   "$ROOT/tools/check_asan.sh"
   "$ROOT/tools/check_ubsan.sh"
   "$ROOT/tools/check_tsan.sh"
