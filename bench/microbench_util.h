@@ -92,13 +92,21 @@ class MicroRig {
 
   ~MicroRig() {
     // Mirror TestCluster: dump the requested observability files so the
-    // raw-verbs microbenches honor --metrics_json / --trace_json too.
+    // raw-verbs microbenches honor the full obs flag set. --slo_json is an
+    // empty skeleton here (no Kafka delivery on a raw-verbs rig) but the
+    // flag is honored; --flight_dump carries the QP verb-post events.
     const harness::ObsOptions& opts = harness::obs_options();
     if (!opts.metrics_json.empty()) {
       (void)fabric_.obs().metrics.WriteJsonFile(opts.metrics_json);
     }
     if (!opts.trace_json.empty()) {
       (void)fabric_.obs().tracer.WriteChromeTraceFile(opts.trace_json);
+    }
+    if (!opts.slo_json.empty()) {
+      (void)fabric_.obs().slo.WriteJsonFile(opts.slo_json);
+    }
+    if (!opts.flight_dump.empty()) {
+      (void)fabric_.obs().flight.WriteChromeTraceFile(opts.flight_dump);
     }
   }
 

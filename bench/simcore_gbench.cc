@@ -10,6 +10,7 @@
 #include "common/crc32c.h"
 #include "common/random.h"
 #include "kafka/record.h"
+#include "obs/flight_recorder.h"
 #include "sim/awaitable.h"
 #include "sim/channel.h"
 #include "sim/sharded.h"
@@ -120,6 +121,54 @@ void BM_ShardedMerged(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(events));
 }
 BENCHMARK(BM_ShardedMerged)->Arg(8);
+
+// --------------------------------------------------------------------------
+// Flight recorder (DESIGN.md §13): the always-on ring must cost a handful
+// of stores per event. Record alone prices the hot path (back-to-back,
+// denser than any real workload); the Dispatch variant prices it in
+// context at the datapath's instrumentation density — one flight event per
+// 8 simulator events (a verb post spawns fabric hops, completion and
+// notification events, so the datapath records well under 1-in-8) —
+// against BM_SimulatorDispatchFlight/every:0, the identical loop with
+// recording disabled (the <=3% overhead budget). Rebuild with
+// -DKD_NO_FLIGHT_RECORDER=ON to compare against the compiled-out binary.
+// --------------------------------------------------------------------------
+
+void BM_FlightRecorderRecord(benchmark::State& state) {
+  obs::FlightRecorder flight;
+  flight.set_enabled(state.range(0) != 0);
+  int64_t ts = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 1024; i++) {
+      flight.Record(0, ts++, obs::FlightEventType::kVerbPosted,
+                    static_cast<uint32_t>(i), 2, 4096);
+    }
+    benchmark::DoNotOptimize(&flight);
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_FlightRecorderRecord)->ArgName("enabled")->Arg(1)->Arg(0);
+
+void BM_SimulatorDispatchFlight(benchmark::State& state) {
+  obs::FlightRecorder flight;
+  const uint32_t every = static_cast<uint32_t>(state.range(0));
+  flight.set_enabled(every != 0);
+  for (auto _ : state) {
+    sim::Simulator sim;
+    for (uint32_t i = 0; i < 1024; i++) {
+      const bool record = every != 0 && i % every == 0;
+      sim.Schedule(i, [&flight, &sim, record]() {
+        if (record) {
+          flight.Record(0, sim.Now(), obs::FlightEventType::kVerbPosted, 1,
+                        2, 4096);
+        }
+      });
+    }
+    sim.Run();
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_SimulatorDispatchFlight)->ArgName("every")->Arg(8)->Arg(0);
 
 sim::Co<void> PingPong(sim::Simulator& sim, sim::Channel<int>& a,
                        sim::Channel<int>& b, int n) {

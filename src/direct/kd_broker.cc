@@ -69,6 +69,12 @@ KafkaDirectBroker::KafkaDirectBroker(sim::Simulator& sim, net::Fabric& fabric,
   kd_obs_.produce_file_pos =
       m.GetGauge("kd.direct.produce_file.commit_pos");
   kd_obs_.ring_pushed_bytes = m.GetCounter("kd.direct.ring.pushed_bytes");
+  kd_obs_.credits_outstanding =
+      m.GetGauge("kd.direct.repl.credits_outstanding");
+  kd_obs_.credit_cap = m.GetGauge("kd.direct.repl.credit_cap");
+  if (config_.receiver_paced_credits) {
+    kd_obs_.credit_cap->Set(static_cast<int64_t>(PacedCreditCap()));
+  }
 }
 
 KafkaDirectBroker::~KafkaDirectBroker() = default;
@@ -706,6 +712,8 @@ sim::Co<void> KafkaDirectBroker::CommitRdmaWrite(RdmaFileState* fs,
     fs->next_expected_order++;
     fs->commit_event->Pulse();
     kd_obs_.produce_file_pos->Set(fs->next_commit_pos);
+    flight_->Record(flight_shard_, sim_.Now(), obs::FlightEventType::kCommit,
+                    fs->file_id, cur_len, fs->next_commit_pos);
     if (!fs->replica) {
       obs_.produce_bytes->Increment(cur_len);
       if (cur_qp != 0) {
@@ -1055,6 +1063,7 @@ sim::Co<void> KafkaDirectBroker::HandleReplicaAccess(Request req) {
     // us, and the pacer re-sizes it from the observed commit drain rate.
     credits = std::min(credits, PacedCreditCap());
     fs->pacer.credits_outstanding = credits;
+    kd_obs_.credits_outstanding->Set(static_cast<int64_t>(credits));
     sim::Spawn(sim_, CreditFlushLoop(fs));
   }
   resp.credits = credits;
@@ -1067,6 +1076,9 @@ void KafkaDirectBroker::GrantCredit(uint32_t qp_num, PartitionState* ps) {
   msg.aux = 1;
   msg.value = ps->log.log_end_offset();
   SendCtrl(qp_num, msg);
+  flight_->Record(flight_shard_, sim_.Now(),
+                  obs::FlightEventType::kCreditGrant, qp_num, 1,
+                  static_cast<uint64_t>(msg.value));
 }
 
 uint32_t KafkaDirectBroker::PacedCreditCap() const {
@@ -1100,6 +1112,8 @@ void KafkaDirectBroker::PacedCreditOnCommit(RdmaFileState* fs,
   }
   p.last_commit_ns = now;
   if (p.credits_outstanding > 0) p.credits_outstanding--;
+  kd_obs_.credits_outstanding->Set(
+      static_cast<int64_t>(p.credits_outstanding));
   p.pending_grants++;
   // Batch grants (~a quarter window per credit message) but flush early
   // when the leader is close to running dry so throughput never stalls.
@@ -1116,6 +1130,9 @@ void KafkaDirectBroker::FlushPacedCredits(RdmaFileState* fs) {
   uint32_t target = PacedTargetWindow(fs);
   uint32_t grant =
       p.credits_outstanding < target ? target - p.credits_outstanding : 0;
+  // Seeded fault (BrokerConfig::fault_credit_overgrant): grant beyond the
+  // pacer window so the monitor's credit invariant demonstrably fires.
+  grant += config_.fault_credit_overgrant;
   int64_t leo = fs->ps->log.log_end_offset();
   if (grant == 0 && leo == p.last_leo_sent) {
     p.pending_grants = 0;  // window already full and the LEO is current
@@ -1127,8 +1144,13 @@ void KafkaDirectBroker::FlushPacedCredits(RdmaFileState* fs) {
   msg.value = leo;
   SendCtrl(p.qp_num, msg);
   p.credits_outstanding += grant;
+  kd_obs_.credits_outstanding->Set(
+      static_cast<int64_t>(p.credits_outstanding));
   p.pending_grants = 0;
   p.last_leo_sent = leo;
+  flight_->Record(flight_shard_, sim_.Now(),
+                  obs::FlightEventType::kCreditGrant, p.qp_num, grant,
+                  static_cast<uint64_t>(leo));
 }
 
 sim::Co<void> KafkaDirectBroker::CreditFlushLoop(RdmaFileState* fs) {
@@ -1175,9 +1197,12 @@ void KafkaDirectBroker::UpdateConsumeSlots(PartitionState& ps) {
     if (grant->slot_index < 0) continue;
     auto* session = static_cast<ConsumerSession*>(grant->session);
     const kafka::Segment& seg = *ps.log.segments()[grant->seg_index];
-    WriteSlot(session->slot(grant->slot_index),
-              ReadablePosition(ps, grant->seg_index), !seg.sealed());
+    uint64_t readable = ReadablePosition(ps, grant->seg_index);
+    WriteSlot(session->slot(grant->slot_index), readable, !seg.sealed());
     kd_obs_.notifications->Increment();
+    flight_->Record(flight_shard_, sim_.Now(),
+                    obs::FlightEventType::kNotification,
+                    static_cast<uint32_t>(grant->slot_index), 0, readable);
   }
 }
 
@@ -1410,6 +1435,9 @@ sim::Co<void> KafkaDirectBroker::RingPushLoop(RingConsumeGrant* g) {
       g->pushed += chunk;
       since_tail += chunk;
       kd_obs_.ring_pushed_bytes->Increment(chunk);
+      flight_->Record(flight_shard_, sim_.Now(),
+                      obs::FlightEventType::kRingPush, g->grant_ref,
+                      static_cast<uint32_t>(chunk), g->pushed);
       if (since_tail >= tail_every) {
         PublishRingTail(g, qp.get());
         since_tail = 0;
@@ -1460,6 +1488,9 @@ void KafkaDirectBroker::PublishRingTail(RingConsumeGrant* g,
     // The tail write is the ring protocol's entire notification traffic:
     // one counter tick per publish, amortized over many records.
     kd_obs_.notifications->Increment();
+    flight_->Record(flight_shard_, sim_.Now(),
+                    obs::FlightEventType::kNotification, g->grant_ref, 1,
+                    g->pushed);
   }
 }
 

@@ -346,6 +346,11 @@ class KafkaDirectBroker : public kafka::Broker {
     obs::Gauge* produce_file_pos = nullptr;
     /// §12 ring-consume protocol: bytes pushed into consumer rings.
     obs::Counter* ring_pushed_bytes = nullptr;
+    /// §12 receiver-paced credits, watched live by the monitor's
+    /// direct.credit_window invariant: the outstanding window (most recent
+    /// pacer to move) must stay within [0, credit_cap].
+    obs::Gauge* credits_outstanding = nullptr;
+    obs::Gauge* credit_cap = nullptr;
   };
   KdObsHandles kd_obs_;
   /// Loopback QP pair for the broker's own FAA on shared files (§4.2.2:

@@ -257,6 +257,11 @@ Status RdmaConsumer::DrainPartial(Subscription* sub,
     if (!view_or.ok()) return view_or.status();
     const RecordBatchView& view = view_or.value();
     *work_ns += cm.CrcCost(view.total_size());
+    // SLO audit: tenant = batch producer_id, delay = consume virtual time
+    // minus the record's produce timestamp. One lookup per batch.
+    obs::TenantSlo* tenant =
+        fabric_.obs().slo.Get(sub->tp.topic, view.producer_id());
+    const sim::TimeNs now = sim_.Now();
     Status st = view.ForEach([&](const kafka::RecordView& r) {
       if (r.offset < sub->next_offset) return;  // prefix before position
       OwnedRecord rec;
@@ -267,6 +272,7 @@ Status RdmaConsumer::DrainPartial(Subscription* sub,
       rec.key = r.key.ToString();
       rec.value = r.value.ToString();
       fetched_bytes_ += r.key.size() + r.value.size();
+      tenant->Observe(now - r.timestamp, r.key.size() + r.value.size(), now);
       *work_ns += static_cast<sim::TimeNs>(
           cm.kafka.consumer_copy_ns_per_byte *
           static_cast<double>(r.key.size() + r.value.size()));

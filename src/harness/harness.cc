@@ -17,6 +17,9 @@ SimEngineOptions g_engine_options;
 void InitObsFromArgs(int argc, char** argv) {
   const std::string kMetrics = "--metrics_json=";
   const std::string kTrace = "--trace_json=";
+  const std::string kSlo = "--slo_json=";
+  const std::string kFlight = "--flight_dump=";
+  const std::string kMonitor = "--monitor_period=";
   const std::string kThreads = "--sim_threads=";
   const std::string kShards = "--sim_shards=";
   for (int i = 1; i < argc; i++) {
@@ -25,6 +28,15 @@ void InitObsFromArgs(int argc, char** argv) {
       g_obs_options.metrics_json = arg.substr(kMetrics.size());
     } else if (arg.rfind(kTrace, 0) == 0) {
       g_obs_options.trace_json = arg.substr(kTrace.size());
+    } else if (arg.rfind(kSlo, 0) == 0) {
+      g_obs_options.slo_json = arg.substr(kSlo.size());
+    } else if (arg.rfind(kFlight, 0) == 0) {
+      g_obs_options.flight_dump = arg.substr(kFlight.size());
+    } else if (arg.rfind(kMonitor, 0) == 0) {
+      g_obs_options.monitor_period_ns =
+          std::max<long long>(0, std::atoll(arg.c_str() + kMonitor.size()));
+    } else if (arg == "--strict") {
+      g_obs_options.strict = true;
     } else if (arg.rfind(kThreads, 0) == 0) {
       g_engine_options.threads =
           std::max(1, std::atoi(arg.c_str() + kThreads.size()));
@@ -63,6 +75,31 @@ TestCluster::TestCluster(DeploymentConfig config)
   if (config.enable_tracing || !g_obs_options.trace_json.empty()) {
     fabric_->obs().tracer.Enable();
   }
+  obs::Observability& ob = fabric_->obs();
+  // One flight-recorder ring per engine shard, sized before any traffic.
+  ob.flight.Configure(engine_.num_shards());
+  if (g_obs_options.monitor_period_ns > 0 || g_obs_options.strict) {
+    obs::InstallStandardWatchers(ob.monitor);
+    ob.monitor.set_strict(g_obs_options.strict);
+    // A violation leaves a breadcrumb in the recorder and dumps it before
+    // any strict-mode abort, so the moments leading up to the failure are
+    // preserved on disk.
+    net::Fabric* fab = fabric_.get();
+    ob.monitor.set_violation_hook(
+        [fab](const obs::Monitor::Violation& v) {
+          obs::Observability& o = fab->obs();
+          o.flight.Record(0, v.at_ns, obs::FlightEventType::kViolation, 0, 0,
+                          0);
+          std::string path = g_obs_options.flight_dump.empty()
+                                 ? "kd_flight_dump.json"
+                                 : g_obs_options.flight_dump;
+          o.flight.WriteChromeTraceFile(path);
+        });
+    if (g_obs_options.monitor_period_ns > 0) {
+      ob.monitor.StartTicking(sim(), ob.metrics,
+                              g_obs_options.monitor_period_ns);
+    }
+  }
   tcpnet_ = std::make_unique<tcpnet::Network>(sim(), *fabric_);
   cluster_ = std::make_unique<kafka::Cluster>(sim(), *fabric_, *tcpnet_,
                                               config.broker,
@@ -83,15 +120,30 @@ TestCluster::TestCluster(DeploymentConfig config)
 }
 
 TestCluster::~TestCluster() {
+  obs::Observability& ob = fabric_->obs();
+  // Final invariant sweep at teardown — catches end-state violations even
+  // when no tick landed after the last datapath event. Runs before the
+  // file exports so a strict abort still leaves the flight dump behind
+  // (via the violation hook).
+  if (ob.monitor.num_watchers() > 0) {
+    ob.monitor.CheckNow(ob.metrics, engine_.Now());
+  }
   if (!g_obs_options.metrics_json.empty()) {
-    obs::ExportShardStats(fabric_->obs().metrics, engine_);
-    KD_CHECK(fabric_->obs().metrics.WriteJsonFile(g_obs_options.metrics_json))
+    obs::ExportShardStats(ob.metrics, engine_);
+    KD_CHECK(ob.metrics.WriteJsonFile(g_obs_options.metrics_json))
         << "cannot write " << g_obs_options.metrics_json;
   }
   if (!g_obs_options.trace_json.empty()) {
-    KD_CHECK(
-        fabric_->obs().tracer.WriteChromeTraceFile(g_obs_options.trace_json))
+    KD_CHECK(ob.tracer.WriteChromeTraceFile(g_obs_options.trace_json))
         << "cannot write " << g_obs_options.trace_json;
+  }
+  if (!g_obs_options.slo_json.empty()) {
+    KD_CHECK(ob.slo.WriteJsonFile(g_obs_options.slo_json))
+        << "cannot write " << g_obs_options.slo_json;
+  }
+  if (!g_obs_options.flight_dump.empty()) {
+    KD_CHECK(ob.flight.WriteChromeTraceFile(g_obs_options.flight_dump))
+        << "cannot write " << g_obs_options.flight_dump;
   }
 }
 
@@ -141,6 +193,10 @@ sim::Co<void> OneProducer(TestCluster* cluster, SystemKind kind,
   net::NodeId node =
       cluster->AddClientNode("producer-" + std::to_string(index));
   std::string value(options.record_size, 'w');
+  // SLO tenancy: producer i is tenant i+1 (0 = untagged/preload). The id
+  // lands in every batch header's producer_id, which consumers read back
+  // to attribute delivery delay and goodput per tenant.
+  const uint64_t tenant = static_cast<uint64_t>(index) + 1;
 
   // Connect phase.
   std::unique_ptr<kafka::TcpProducer> tcp_producer;
@@ -150,6 +206,7 @@ sim::Co<void> OneProducer(TestCluster* cluster, SystemKind kind,
       tcp_producer = std::make_unique<kafka::TcpProducer>(
           cluster->sim(), cluster->tcp(), node,
           kafka::ProducerConfig{.acks = options.acks,
+                                .producer_id = tenant,
                                 .max_inflight = options.max_inflight});
       KD_CHECK_OK(co_await tcp_producer->Connect(cluster->Leader(tp)->node()));
       break;
@@ -158,6 +215,7 @@ sim::Co<void> OneProducer(TestCluster* cluster, SystemKind kind,
       tcp_producer = std::make_unique<kafka::TcpProducer>(
           cluster->sim(), cluster->tcp(), node,
           kafka::ProducerConfig{.acks = options.acks,
+                                .producer_id = tenant,
                                 .max_inflight = options.max_inflight});
       auto chan = co_await osu::OsuConnect(
           cluster->sim(), cluster->fabric(), cluster->ClientRnic(node),
@@ -173,6 +231,7 @@ sim::Co<void> OneProducer(TestCluster* cluster, SystemKind kind,
           kd::RdmaProducerConfig{
               .exclusive = kind == SystemKind::kKdExclusive,
               .max_inflight = options.max_inflight,
+              .producer_id = tenant,
               .signal_interval = options.signal_interval,
               .notify_mode = options.notify_mode,
               .notify_crossover_bytes = options.notify_crossover_bytes});
@@ -349,6 +408,101 @@ WorkloadResult RunConsumeWorkload(TestCluster& cluster, SystemKind kind,
   sim::Spawn(cluster.sim(),
              ConsumeAll(&cluster, kind, options, topic, &result, &done));
   cluster.RunToFlag(&done);
+  double payload = static_cast<double>(options.record_size) *
+                   static_cast<double>(result.records);
+  if (result.elapsed_ns > 0) {
+    result.mib_per_sec =
+        RateMiBps(payload, static_cast<double>(result.elapsed_ns));
+  }
+  return result;
+}
+
+namespace {
+
+/// Drains `topic` until `total` records have been delivered, feeding the
+/// per-record delivery delay (consume time - produce timestamp) into the
+/// shared result. The per-tenant split lands in obs().slo via the consumer
+/// internals themselves.
+sim::Co<void> EndToEndConsumer(TestCluster* cluster, SystemKind kind,
+                               std::string topic, int total,
+                               WorkloadResult* result, int* consumed) {
+  kafka::TopicPartitionId tp{topic, 0};
+  net::NodeId node = cluster->AddClientNode("slo-consumer");
+  sim::TimeNs start = cluster->sim().Now();
+  auto account = [&](const std::vector<kafka::OwnedRecord>& records) {
+    sim::TimeNs now = cluster->sim().Now();
+    for (const kafka::OwnedRecord& r : records) {
+      result->latency.Add(now - r.timestamp);
+    }
+    *consumed += static_cast<int>(records.size());
+    result->records += records.size();
+  };
+  if (kind == SystemKind::kKafka || kind == SystemKind::kOsuKafka) {
+    kafka::TcpConsumer consumer(cluster->sim(), cluster->tcp(), node);
+    if (kind == SystemKind::kKafka) {
+      KD_CHECK_OK(co_await consumer.Connect(cluster->Leader(tp)->node()));
+    } else {
+      auto chan = co_await osu::OsuConnect(
+          cluster->sim(), cluster->fabric(), cluster->ClientRnic(node),
+          cluster->Leader(tp), cluster->OsuListenerOf(tp));
+      KD_CHECK(chan.ok()) << chan.status().ToString();
+      consumer.ConnectWith(chan.value());
+    }
+    while (*consumed < total) {
+      auto records = co_await consumer.Poll(tp, 1 << 20);
+      KD_CHECK(records.ok()) << records.status().ToString();
+      account(records.value());
+    }
+  } else {
+    kd::RdmaConsumer consumer(cluster->sim(), cluster->fabric(),
+                              cluster->tcp(), node);
+    KD_CHECK_OK(co_await consumer.Connect(cluster->Leader(tp)));
+    KD_CHECK_OK(co_await consumer.Subscribe(tp, 0));
+    while (*consumed < total) {
+      auto records = co_await consumer.Poll(tp);
+      KD_CHECK(records.ok()) << records.status().ToString();
+      account(records.value());
+    }
+  }
+  result->elapsed_ns = cluster->sim().Now() - start;
+}
+
+}  // namespace
+
+WorkloadResult RunEndToEndWorkload(TestCluster& cluster, SystemKind kind,
+                                   const EndToEndOptions& options) {
+  std::string topic = options.topic + "-" + std::to_string(NextTopicId());
+  KD_CHECK_OK(cluster.CreateTopic(topic, 1, options.replication_factor));
+
+  ProduceOptions produce;
+  produce.partitions = 1;
+  produce.producers = options.producers;
+  produce.records_per_producer = options.records_per_producer;
+  produce.record_size = options.record_size;
+  produce.max_inflight = options.max_inflight;
+  produce.replication_factor = options.replication_factor;
+
+  ProduceRun run;
+  run.go = std::make_unique<sim::Event>(cluster.sim());
+  for (int i = 0; i < options.producers; i++) {
+    sim::Spawn(cluster.sim(),
+               OneProducer(&cluster, kind, produce, topic, i, &run));
+  }
+  WorkloadResult result;
+  int consumed = 0;
+  const int total = options.producers * options.records_per_producer;
+  sim::Spawn(cluster.sim(),
+             EndToEndConsumer(&cluster, kind, topic, total, &result,
+                              &consumed));
+  // Wait for the consumer AND every producer (acks may land just after the
+  // last delivery) so no coroutine is torn down mid-flight.
+  cluster.engine().RunUntilDone(
+      [&] { return consumed >= total && run.done == options.producers; },
+      cluster.engine().Now() + Seconds(3600));
+  KD_CHECK(consumed >= total && run.done == options.producers)
+      << "end-to-end workload did not finish: consumed=" << consumed << "/"
+      << total << " producers=" << run.done << "/" << options.producers;
+  result.errors = run.result.errors;
   double payload = static_cast<double>(options.record_size) *
                    static_cast<double>(result.records);
   if (result.elapsed_ns > 0) {

@@ -50,11 +50,20 @@ struct DeploymentConfig {
 
 /// Observability outputs requested on the command line. When `trace_json`
 /// is set, every TestCluster constructed afterwards records spans; on
-/// cluster teardown both files are (over)written, so after a bench the
-/// files hold the last deployment's metrics/trace.
+/// cluster teardown the files are (over)written, so after a bench the
+/// files hold the last deployment's metrics/trace/SLO report/flight dump.
 struct ObsOptions {
   std::string metrics_json;  // --metrics_json=<path>
   std::string trace_json;    // --trace_json=<path>
+  std::string slo_json;      // --slo_json=<path>: per-tenant SLO report
+  std::string flight_dump;   // --flight_dump=<path>: flight-recorder trace
+  /// --monitor_period=<ns>: tick the live invariant monitor at this
+  /// virtual-time period (0 = monitor only checked at teardown when
+  /// --strict is set, otherwise off).
+  sim::TimeNs monitor_period_ns = 0;
+  /// --strict: an invariant violation aborts the process (after dumping
+  /// the flight recorder).
+  bool strict = false;
 };
 
 /// Simulation-engine knobs from the command line (DESIGN.md §11).
@@ -63,9 +72,10 @@ struct SimEngineOptions {
   int shards = 1;   // --sim_shards=<n>: event-queue domains
 };
 
-/// Parses --metrics_json= / --trace_json= / --sim_threads= / --sim_shards=
-/// into the process-wide options. Unrecognized arguments are ignored
-/// (benches keep their own flags).
+/// Parses --metrics_json= / --trace_json= / --slo_json= / --flight_dump= /
+/// --monitor_period= / --strict / --sim_threads= / --sim_shards= into the
+/// process-wide options. Unrecognized arguments are ignored (benches keep
+/// their own flags).
 void InitObsFromArgs(int argc, char** argv);
 const ObsOptions& obs_options();
 const SimEngineOptions& sim_engine_options();
@@ -192,6 +202,29 @@ WorkloadResult RunEmptyFetchLatency(TestCluster& cluster, SystemKind kind,
 /// by `clients` consumers (§5.3's 53 K/s vs 8300 K/s table).
 double RunEmptyFetchThroughput(TestCluster& cluster, SystemKind kind,
                                int clients, sim::TimeNs duration);
+
+// ---------------------------------------------------------------------------
+// End-to-end multi-tenant workload (SLO audit)
+// ---------------------------------------------------------------------------
+
+struct EndToEndOptions {
+  std::string topic = "slo";
+  /// One producer per tenant; tenant id = producer index + 1 (0 is the
+  /// untagged/preload id), stamped into every batch as producer_id.
+  int producers = 4;
+  int records_per_producer = 100;
+  size_t record_size = 1024;
+  int max_inflight = 4;
+  int replication_factor = 1;
+};
+
+/// Concurrent produce + consume on one partition: `producers` tenants
+/// produce while a single consumer drains until it has seen every record.
+/// Delivery delays land in the cluster's obs().slo tracker per tenant
+/// (reported via --slo_json). The returned latency histogram holds the
+/// consumer-observed delivery delays across all tenants.
+WorkloadResult RunEndToEndWorkload(TestCluster& cluster, SystemKind kind,
+                                   const EndToEndOptions& options);
 
 // ---------------------------------------------------------------------------
 // Table output

@@ -105,6 +105,12 @@ struct BrokerConfig {
   /// broker id modulo the engine's shard count. Ignored (everything on
   /// shard 0) under a standalone Simulator.
   int32_t shard_affinity = -1;
+
+  /// FAULT INJECTION (monitor/flight-recorder tests only): a paced credit
+  /// flush grants this many credits beyond the pacer's target window,
+  /// deliberately pushing credits_outstanding past the RNR-proof cap so the
+  /// live monitor's direct.credit_window watcher fires mid-run. 0 = off.
+  uint32_t fault_credit_overgrant = 0;
 };
 
 /// Broker-side runtime counters, used by benches for CPU-load and
@@ -316,8 +322,15 @@ class Broker {
     obs::Counter* produce_bytes = nullptr;
     obs::Counter* produce_copied_bytes = nullptr;
     obs::Counter* fetch_bytes_returned = nullptr;
+    /// Leader high watermark; only ever Set() on advance, so value <
+    /// high_water means a backwards move (monitor: kafka.hwm_monotonic).
+    obs::Gauge* hwm_offset = nullptr;
   };
   ObsHandles obs_;
+  /// Flight recorder (always-on black box) + this broker's shard, for
+  /// breadcrumbs on HWM advances, ISR changes, commits, and credit grants.
+  obs::FlightRecorder* flight_ = nullptr;
+  uint32_t flight_shard_ = 0;
   obs::SpanTracer* tracer_;
   obs::TrackId net_track_ = 0;     // network processors ("net")
   obs::TrackId queue_track_ = 0;   // request queue waits

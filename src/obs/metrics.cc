@@ -56,6 +56,15 @@ int64_t LogLinearHistogram::Percentile(double p) const {
   return max_;
 }
 
+void LogLinearHistogram::Merge(const LogLinearHistogram& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+  if (count_ == 0 || other.max_ > max_) max_ = other.max_;
+  for (int i = 0; i < kNumBuckets; i++) buckets_[i] += other.buckets_[i];
+  sum_ += other.sum_;
+  count_ += other.count_;
+}
+
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
   auto& slot = counters_[name];
   if (slot == nullptr) slot = std::make_unique<Counter>();
@@ -88,6 +97,20 @@ const LogLinearHistogram* MetricsRegistry::FindHistogram(
     const std::string& name) const {
   auto it = histograms_.find(name);
   return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+uint64_t MetricsRegistry::SumCounters(const std::string& prefix,
+                                      const std::string& suffix) const {
+  uint64_t sum = 0;
+  for (const auto& [name, c] : counters_) {
+    if (name.size() < prefix.size() + suffix.size()) continue;
+    if (name.compare(0, prefix.size(), prefix) != 0) continue;
+    if (!suffix.empty() &&
+        name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0)
+      continue;
+    sum += c->value();
+  }
+  return sum;
 }
 
 namespace {

@@ -72,6 +72,12 @@ class LogLinearHistogram {
   /// within one bucket width (<= 1/32 relative error) of it.
   int64_t Percentile(double p) const;
 
+  /// Adds every sample of `other` into this histogram. Because buckets are
+  /// position-aligned, merging shard-local histograms is exactly equivalent
+  /// to having Add()ed every sample into one histogram (the per-shard SLO
+  /// aggregation relies on this; see metrics_test.cc MergeEqualsSingle).
+  void Merge(const LogLinearHistogram& other);
+
   /// Bucket math, exposed for the registry-vs-exact cross-check test.
   static int BucketIndex(int64_t v);
   static int64_t BucketLowerBound(int index);
@@ -106,6 +112,28 @@ class MetricsRegistry {
   size_t num_instruments() const {
     return counters_.size() + gauges_.size() + histograms_.size();
   }
+
+  /// Deterministic (name-sorted) iteration over registered instruments.
+  /// The live monitor's watchers use these to evaluate predicates over
+  /// whole metric families (e.g. byte conservation across all brokers)
+  /// without hard-coding broker ids.
+  template <typename Fn>  // Fn(const std::string&, const Counter&)
+  void ForEachCounter(Fn&& fn) const {
+    for (const auto& [name, c] : counters_) fn(name, *c);
+  }
+  template <typename Fn>  // Fn(const std::string&, const Gauge&)
+  void ForEachGauge(Fn&& fn) const {
+    for (const auto& [name, g] : gauges_) fn(name, *g);
+  }
+  template <typename Fn>  // Fn(const std::string&, const LogLinearHistogram&)
+  void ForEachHistogram(Fn&& fn) const {
+    for (const auto& [name, h] : histograms_) fn(name, *h);
+  }
+
+  /// Sum of all counters whose name starts with `prefix` and ends with
+  /// `suffix` (either may be empty). Convenience for conservation watchers.
+  uint64_t SumCounters(const std::string& prefix,
+                       const std::string& suffix) const;
 
  private:
   // std::map keeps export order deterministic and pointers stable.

@@ -1,10 +1,14 @@
-// Observability: the per-simulation bundle of a MetricsRegistry and a
-// SpanTracer. One instance lives on the net::Fabric, which every component
-// (brokers, RNICs, TCP stacks, clients) already holds a reference to —
-// giving all layers a shared sink without new plumbing.
+// Observability: the per-simulation bundle of a MetricsRegistry, a
+// SpanTracer, the per-tenant SloTracker, the live invariant Monitor, and
+// the always-on FlightRecorder. One instance lives on the net::Fabric,
+// which every component (brokers, RNICs, TCP stacks, clients) already holds
+// a reference to — giving all layers a shared sink without new plumbing.
 #pragma once
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/monitor.h"
+#include "obs/slo.h"
 #include "obs/trace.h"
 #include "sim/simulator.h"
 
@@ -18,6 +22,11 @@ struct Observability {
 
   MetricsRegistry metrics;
   SpanTracer tracer;
+  SloTracker slo;
+  Monitor monitor;
+  // Defaults to one shard; the harness re-Configures to the engine's shard
+  // count before any traffic flows.
+  FlightRecorder flight;
 };
 
 }  // namespace obs

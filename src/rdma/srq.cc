@@ -17,7 +17,12 @@ SharedReceiveQueue::SharedReceiveQueue(sim::Simulator& sim, int max_wr,
       limit_event_(sim),
       posted_counter_(metrics.GetCounter("kd.rdma.srq.posted")),
       consumed_counter_(metrics.GetCounter("kd.rdma.srq.consumed")),
-      depth_gauge_(metrics.GetGauge("kd.rdma.srq.depth")) {}
+      depth_gauge_(metrics.GetGauge("kd.rdma.srq.depth")) {
+  // Arena bound for the live monitor's srq_bounded watcher: depth may never
+  // exceed the largest configured SRQ arena.
+  obs::Gauge* cap = metrics.GetGauge("kd.rdma.srq.capacity");
+  if (max_wr_ > cap->value()) cap->Set(max_wr_);
+}
 
 Status SharedReceiveQueue::PostRecv(uint64_t wr_id, uint8_t* buf,
                                     uint32_t len) {

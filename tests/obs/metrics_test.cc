@@ -155,6 +155,114 @@ TEST(LogLinearHistogramTest, PercentilesMatchExactWithinOneBucket) {
   }
 }
 
+// p99/p999 relative error must stay within the log-linear bucket bound
+// (1/32 per octave) against the exact sample-storing histogram.
+TEST(LogLinearHistogramTest, TailPercentileRelativeErrorWithinBucketBound) {
+  LogLinearHistogram loglin;
+  Histogram exact;
+  Random rng(777);
+  for (int i = 0; i < 50000; i++) {
+    // Heavy-tailed-ish mixture: mostly ~1us, occasionally ~1ms spikes, as
+    // delivery delays look under contention.
+    int64_t v = static_cast<int64_t>(500 + rng.Uniform(2000));
+    if (rng.Uniform(100) < 2) v += static_cast<int64_t>(rng.Uniform(1 << 20));
+    loglin.Add(v);
+    exact.Add(v);
+  }
+  for (double p : {99.0, 99.9}) {
+    const double e = static_cast<double>(exact.Percentile(p));
+    const double l = static_cast<double>(loglin.Percentile(p));
+    ASSERT_GT(e, 0.0);
+    // Estimate reports the bucket upper bound: never below the exact value,
+    // and within one bucket's relative width above it.
+    EXPECT_GE(l, e) << "p" << p;
+    EXPECT_LE((l - e) / e, 1.0 / 32 + 1e-9) << "p" << p;
+  }
+}
+
+// Merging shard-local histograms must be exactly equivalent to one
+// histogram that Add()ed every sample (buckets are position-aligned).
+TEST(LogLinearHistogramTest, MergeEqualsSingle) {
+  LogLinearHistogram shard0, shard1, shard2, single;
+  Random rng(4242);
+  for (int i = 0; i < 30000; i++) {
+    int64_t v = static_cast<int64_t>(rng.Uniform(int64_t{1} << 34));
+    (i % 3 == 0 ? shard0 : i % 3 == 1 ? shard1 : shard2).Add(v);
+    single.Add(v);
+  }
+  LogLinearHistogram merged;
+  merged.Merge(shard0);
+  merged.Merge(shard1);
+  merged.Merge(shard2);
+  EXPECT_EQ(merged.count(), single.count());
+  EXPECT_EQ(merged.min(), single.min());
+  EXPECT_EQ(merged.max(), single.max());
+  EXPECT_DOUBLE_EQ(merged.Mean(), single.Mean());
+  for (double p : {0.0, 10.0, 50.0, 90.0, 99.0, 99.9, 100.0}) {
+    EXPECT_EQ(merged.Percentile(p), single.Percentile(p)) << "p" << p;
+  }
+}
+
+TEST(LogLinearHistogramTest, MergeEmptyIsNoop) {
+  LogLinearHistogram h, empty;
+  h.Add(100);
+  h.Merge(empty);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 100);
+  EXPECT_EQ(h.max(), 100);
+  // Merging into an empty histogram adopts the other's min/max.
+  LogLinearHistogram fresh;
+  fresh.Merge(h);
+  EXPECT_EQ(fresh.count(), 1u);
+  EXPECT_EQ(fresh.min(), 100);
+  EXPECT_EQ(fresh.max(), 100);
+}
+
+TEST(MetricsRegistryTest, SumCountersByPrefixAndSuffix) {
+  MetricsRegistry reg;
+  reg.GetCounter("kd.broker.0.produce.bytes")->Increment(100);
+  reg.GetCounter("kd.broker.1.produce.bytes")->Increment(200);
+  reg.GetCounter("kd.broker.0.produce.copied_bytes")->Increment(40);
+  reg.GetCounter("kd.rdma.wrs_posted")->Increment(7);
+  EXPECT_EQ(reg.SumCounters("kd.broker.", ".produce.bytes"), 300u);
+  EXPECT_EQ(reg.SumCounters("kd.broker.", ".produce.copied_bytes"), 40u);
+  EXPECT_EQ(reg.SumCounters("kd.broker.", ""), 340u);
+  EXPECT_EQ(reg.SumCounters("", ""), 347u);
+  EXPECT_EQ(reg.SumCounters("absent.", ".bytes"), 0u);
+  // A name shorter than the suffix must not match (no underflow).
+  EXPECT_EQ(reg.SumCounters("", "much.longer.than.any.registered.name.here"),
+            0u);
+}
+
+TEST(MetricsRegistryTest, ForEachIteratesSorted) {
+  MetricsRegistry reg;
+  reg.GetCounter("b")->Increment(2);
+  reg.GetCounter("a")->Increment(1);
+  reg.GetGauge("g")->Set(5);
+  reg.GetHistogram("h")->Add(9);
+  std::vector<std::string> counter_names;
+  uint64_t total = 0;
+  reg.ForEachCounter([&](const std::string& name, const Counter& c) {
+    counter_names.push_back(name);
+    total += c.value();
+  });
+  ASSERT_EQ(counter_names.size(), 2u);
+  EXPECT_EQ(counter_names[0], "a");
+  EXPECT_EQ(counter_names[1], "b");
+  EXPECT_EQ(total, 3u);
+  int gauges = 0, histograms = 0;
+  reg.ForEachGauge([&](const std::string&, const Gauge& g) {
+    gauges++;
+    EXPECT_EQ(g.value(), 5);
+  });
+  reg.ForEachHistogram([&](const std::string&, const LogLinearHistogram& h) {
+    histograms++;
+    EXPECT_EQ(h.count(), 1u);
+  });
+  EXPECT_EQ(gauges, 1);
+  EXPECT_EQ(histograms, 1);
+}
+
 }  // namespace
 }  // namespace obs
 }  // namespace kafkadirect

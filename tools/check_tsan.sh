@@ -5,7 +5,10 @@
 # (sim/sharded.h) is where real threads enter — the epoch barrier, the
 # shard-claim atomics, and the SPSC mailbox rings — so its tests (parallel
 # fingerprint equality, mailbox stress, the two-thread ring stress) are the
-# primary subjects of this pass.
+# primary subjects of this pass. The obs suite rides along: the flight
+# recorder borrows the SPSC ring layout and must stay clean under the same
+# scrutiny even though the harness drives it from merged (single-threaded)
+# mode.
 #
 # Usage: tools/check_tsan.sh
 set -euo pipefail
@@ -14,12 +17,13 @@ ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD_DIR="$ROOT/build-tsan"
 
 cmake --preset tsan -S "$ROOT" >/dev/null
-cmake --build "$BUILD_DIR" -j"$(nproc)" --target common_test sim_test sharded_test
+cmake --build "$BUILD_DIR" -j"$(nproc)" --target common_test sim_test sharded_test obs_test
 
 export TSAN_OPTIONS=halt_on_error=1:second_deadlock_stack=1
 
 "$BUILD_DIR/tests/common_test"
 "$BUILD_DIR/tests/sim_test"
 "$BUILD_DIR/tests/sharded_test"
+"$BUILD_DIR/tests/obs_test"
 
-echo "tsan: all common + sim + sharded tests passed"
+echo "tsan: all common + sim + sharded + obs tests passed"

@@ -12,6 +12,11 @@ Zero-valued baselines (e.g. reads_per_record of the ring protocol,
 rnr_events everywhere) are invariants, not measurements: any nonzero
 current value fails regardless of tolerance.
 
+Key-set drift fails in BOTH directions: a benchmark or metric present in
+only one of the two reports (renamed, dropped, or added without a baseline
+refresh) is an error, never silently skipped — a rename would otherwise
+un-gate the metric it renamed.
+
 Usage: tools/compare_datapath.py BASELINE CURRENT [--tolerance 0.10]
 """
 
@@ -45,9 +50,14 @@ def main():
 
     failures = []
     missing = sorted(set(base) - set(cur))
+    unexpected = sorted(set(cur) - set(base))
     for name in sorted(base):
         if name not in cur:
             continue
+        for key in sorted(set(cur[name]) - set(base[name])):
+            failures.append(
+                f"{name}: metric '{key}' not in baseline (refresh "
+                f"BENCH_datapath_protocols.baseline.json)")
         for key, bval in sorted(base[name].items()):
             if key not in cur[name]:
                 failures.append(f"{name}: metric '{key}' missing")
@@ -69,6 +79,10 @@ def main():
     if missing:
         print(f"error: benchmarks missing from current report: "
               f"{', '.join(missing)}", file=sys.stderr)
+        return 1
+    if unexpected:
+        print(f"error: benchmarks not in baseline (refresh it): "
+              f"{', '.join(unexpected)}", file=sys.stderr)
         return 1
     if failures:
         print(f"error: {len(failures)} metric(s) deviated more than "

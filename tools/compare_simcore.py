@@ -2,7 +2,9 @@
 """Compare a simcore_gbench JSON report against the committed baseline.
 
 Fails (exit 1) when any benchmark regressed by more than --max-regress
-(relative real_time increase). Handles both report shapes google-benchmark
+(relative real_time increase), or when the benchmark sets of baseline and
+current differ in either direction (a rename/addition must refresh the
+committed baseline, not silently drop out of the gate). Handles both report shapes google-benchmark
 produces: plain per-repetition "iteration" entries (the committed baseline)
 and "aggregate" entries (what run_simcore.sh emits with
 --benchmark_report_aggregates_only). For each benchmark name the
@@ -114,6 +116,7 @@ def main():
                 and int(m.group(1)) > 1)
 
     missing = sorted(set(base) - set(cur))
+    unexpected = sorted(set(cur) - set(base))
     regressions = []
     soft_warnings = []
     print(f"{'benchmark':60} {'baseline':>12} {'current':>12} {'delta':>8}")
@@ -142,6 +145,13 @@ def main():
     if missing:
         print(f"error: benchmarks missing from current report: "
               f"{', '.join(missing)}", file=sys.stderr)
+        return 1
+    if unexpected:
+        # A rename shows up as missing+unexpected; a new benchmark without
+        # a baseline entry would otherwise run ungated forever.
+        print(f"error: benchmarks not in baseline (refresh "
+              f"BENCH_simcore.baseline.json): {', '.join(unexpected)}",
+              file=sys.stderr)
         return 1
     if regressions:
         print(f"error: {len(regressions)} benchmark(s) regressed more than "

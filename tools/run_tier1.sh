@@ -9,6 +9,13 @@
 #   3b. Datapath-protocol gate: bench/abl_datapath_protocols (deterministic
 #      virtual-time metrics) vs BENCH_datapath_protocols.baseline.json —
 #      fails on a >10% deviation (tools/compare_datapath.py).
+#   3c. Live-monitor exercise: bench/tbl_slo_tenants runs with the invariant
+#      monitor ticking in --strict mode (any watcher violation aborts the
+#      bench and thus the gate), then tools/obs_report.py diffs its
+#      --metrics_json dump against the committed BENCH_slo.baseline.json.
+#      The obs diff is ADVISORY: deviations print a warning but do not fail
+#      tier-1, since the per-subsystem instrument counts are exactly what a
+#      legitimate datapath change moves.
 #   4. ASan/UBSan pass over the allocation-sensitive suites
 #      (tools/check_asan.sh).
 #   5. Optimized UBSan pass over the same plus the obs suite
@@ -39,6 +46,12 @@ if [[ "$FAST" == 0 ]]; then
   python3 "$ROOT/tools/compare_datapath.py" \
     "$ROOT/BENCH_datapath_protocols.baseline.json" \
     "$ROOT/BENCH_datapath_protocols.json" --tolerance 0.10
+  "$BUILD_DIR/bench/tbl_slo_tenants" --strict --monitor_period=100000 \
+    --metrics_json="$ROOT/BENCH_slo.json" >/dev/null
+  python3 "$ROOT/tools/obs_report.py" "$ROOT/BENCH_slo.baseline.json" \
+    "$ROOT/BENCH_slo.json" --tolerance 0.10 \
+    || echo "obs_report: ADVISORY deviation vs BENCH_slo.baseline.json" \
+            "(refresh the baseline if the change is intended)"
   "$ROOT/tools/check_asan.sh"
   "$ROOT/tools/check_ubsan.sh"
   "$ROOT/tools/check_tsan.sh"
