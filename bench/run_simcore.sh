@@ -24,6 +24,19 @@ fi
 GIT_COMMIT="$(git -C "$ROOT" rev-parse --short HEAD 2>/dev/null || echo unknown)"
 HOST_CORES="$(nproc 2>/dev/null || echo unknown)"
 
+if [[ "$HOST_CORES" == "1" ]]; then
+  cat >&2 <<'EOF'
+********************************************************************************
+* WARNING: this host has ONE core (nproc=1).                                   *
+* The BM_Sharded*/threads:N>1 variants will serialize, so the captured        *
+* numbers carry NO thread-scaling signal. Do NOT commit this report as        *
+* BENCH_simcore.baseline.json from this machine; comparisons against it will *
+* gate on host shape, not on the code (compare_simcore.py softens the        *
+* threads:N>1 checks to warnings when it sees context.host_cores=1).          *
+********************************************************************************
+EOF
+fi
+
 "$BIN" \
   --benchmark_out="$ROOT/BENCH_simcore.json" \
   --benchmark_out_format=json \

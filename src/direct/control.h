@@ -88,6 +88,14 @@ enum class CtrlKind : uint32_t {
   kHwmUpdate = 3,      // leader -> follower: {high_watermark}
   kProduceNotify = 4,  // producer -> broker: Write+Send notification
                        // {order, aux=file_id, value=write length} (§4.2.2)
+  // --- QP-multiplexing stream lifecycle (DESIGN.md §14) ---
+  kMuxOpen = 5,   // client -> broker: open `aux` logical streams starting
+                  // at `stream` on this transport QP (aux == 0 -> 1)
+  kMuxGrant = 6,  // broker -> client: admission verdict for `stream`;
+                  // error == 0: order = per-stream credits, value =
+                  //   committed-record count (reconnect resync anchor);
+                  // error != 0: rejected, value = suggested retry-after ns
+  kMuxClose = 7,  // client -> broker: close `aux` streams from `stream`
 };
 
 constexpr uint32_t kCtrlMsgSize = 24;
@@ -98,6 +106,9 @@ struct CtrlMsg {
   uint16_t error = 0;      // 0 = OK; nonzero = kafka::ErrorCode
   int64_t value = 0;       // base offset / LEO / HWM
   uint32_t aux = 0;        // credits granted
+  uint32_t stream = 0;     // logical client stream id (0 = unmuxed); rides
+                           // in the 4 bytes that were reserved-zero before
+                           // §14, so the unmuxed wire format is unchanged
 
   void EncodeTo(uint8_t* dst) const {
     EncodeFixed32(dst, static_cast<uint32_t>(kind));
@@ -105,7 +116,7 @@ struct CtrlMsg {
     EncodeFixed16(dst + 6, error);
     EncodeFixed64(dst + 8, static_cast<uint64_t>(value));
     EncodeFixed32(dst + 16, aux);
-    EncodeFixed32(dst + 20, 0);
+    EncodeFixed32(dst + 20, stream);
   }
   static CtrlMsg DecodeFrom(const uint8_t* src) {
     CtrlMsg m;
@@ -114,6 +125,7 @@ struct CtrlMsg {
     m.error = DecodeFixed16(src + 6);
     m.value = static_cast<int64_t>(DecodeFixed64(src + 8));
     m.aux = DecodeFixed32(src + 16);
+    m.stream = DecodeFixed32(src + 20);
     return m;
   }
 };

@@ -18,15 +18,39 @@ using kafka::TopicPartitionId;
 /// Ctrl-message receives posted per accepted QP (without the SRQ).
 constexpr int kCtrlRecvsPerQp = 256;
 
+/// §14: consumer-session slab pool size when metadata_arena is on. Full
+/// pool -> graceful fallback to a per-session registration.
+constexpr uint32_t kSessionArenaSlots = 256;
+
 // ---------------------------------------------------------------------------
 // ConsumerSession / metadata slots
 // ---------------------------------------------------------------------------
 
 ConsumerSession::ConsumerSession(rdma::Rnic& rnic)
-    : region(kNumSlots * kSlotSize, 0), used(kNumSlots, false) {
+    : region(kRegionBytes, 0), used(kNumSlots, false) {
   mr = rnic.RegisterMemory(region.data(), region.size(),
                            rdma::kAccessRemoteRead)
            .value();
+  base_ = region.data();
+  region_addr_ = mr->addr();
+}
+
+ConsumerSession::ConsumerSession(rdma::SlotArena& arena, uint32_t arena_slot)
+    : used(kNumSlots, false),
+      arena_(&arena),
+      arena_slot_(static_cast<int32_t>(arena_slot)) {
+  // §14: no per-session registration — the region is one recycled slab of
+  // the broker's session arena, covered by the arena's single MR.
+  mr = arena.mr();
+  base_ = arena.SlotPtr(arena_slot);
+  std::memset(base_, 0, kRegionBytes);
+  region_addr_ = arena.SlotAddr(arena_slot);
+}
+
+ConsumerSession::~ConsumerSession() {
+  if (arena_ != nullptr && arena_slot_ >= 0) {
+    arena_->Free(static_cast<uint32_t>(arena_slot_));
+  }
 }
 
 int32_t ConsumerSession::AllocSlot() {
@@ -41,7 +65,7 @@ int32_t ConsumerSession::AllocSlot() {
 
 void ConsumerSession::FreeSlot(int32_t index) {
   if (index >= 0 && index < static_cast<int32_t>(kNumSlots)) {
-    used[index] = false;
+    used[static_cast<size_t>(index)] = false;
     std::memset(slot(index), 0, kSlotSize);
   }
 }
@@ -75,6 +99,14 @@ KafkaDirectBroker::KafkaDirectBroker(sim::Simulator& sim, net::Fabric& fabric,
   if (config_.receiver_paced_credits) {
     kd_obs_.credit_cap->Set(static_cast<int64_t>(PacedCreditCap()));
   }
+  if (config_.qp_mux) {
+    // §14 admission plane. Only registered when the mux is on so the
+    // monitor's admission invariant stays vacuous for paper-exact runs.
+    adm_obs_.admitted = m.GetCounter("kd.broker.admission.admitted");
+    adm_obs_.rejected = m.GetCounter("kd.broker.admission.rejected");
+    adm_obs_.active = m.GetGauge("kd.broker.admission.active");
+    adm_obs_.capacity = m.GetGauge("kd.broker.admission.capacity");
+  }
 }
 
 KafkaDirectBroker::~KafkaDirectBroker() = default;
@@ -94,6 +126,40 @@ Status KafkaDirectBroker::Start() {
           kCtrlMsgSize));
     }
     ctrl_recv_buf_bytes_ = srq_arena_.size();
+  }
+  // §14 connection layer, each piece behind its own default-off flag.
+  if (config_.qp_mux || config_.metadata_arena) {
+    meta_arena_ = std::make_unique<rdma::SlotArena>(
+        rnic_, rdma::QpMux::kSlotBytes, config_.metadata_arena_slots,
+        rdma::kAccessRemoteRead);
+  }
+  if (config_.metadata_arena) {
+    // Consumer metadata-slot regions come from a recycled slab pool
+    // instead of one ibv_reg_mr per session.
+    session_arena_ = std::make_unique<rdma::SlotArena>(
+        rnic_, ConsumerSession::kRegionBytes, kSessionArenaSlots,
+        rdma::kAccessRemoteRead);
+  }
+  if (config_.qp_mux) {
+    uint32_t max_streams = config_.metadata_arena_slots;
+    if (config_.admission_control && config_.admission_max_streams > 0) {
+      max_streams = config_.admission_max_streams;
+    }
+    mux_ = std::make_unique<rdma::QpMux>(*meta_arena_, max_streams,
+                                         config_.mux_stream_credits,
+                                         fabric_.obs().metrics);
+    if (adm_obs_.capacity != nullptr) {
+      adm_obs_.capacity->Set(static_cast<int64_t>(max_streams));
+    }
+  }
+  if (config_.connection_cache) {
+    conn_cache_ = std::make_unique<rdma::ConnectionCache>(
+        std::max<uint32_t>(1, config_.connection_cache_capacity),
+        fabric_.obs().metrics);
+    conn_cache_->set_evict_hook(
+        [this](uint32_t qp_num, std::shared_ptr<rdma::QueuePair> qp) {
+          OnCacheEvict(qp_num, std::move(qp));
+        });
   }
   sim::Spawn(sim_, RdmaPollerLoop());
   // Loopback QP pair so TCP produce requests to shared files can reserve
@@ -184,7 +250,8 @@ sim::Co<StatusOr<int64_t>> KafkaDirectBroker::CommitBatch(
     const uint32_t batch_len = static_cast<uint32_t>(batch.size());
     std::memcpy(seg->data() + pos, batch.data(), batch.size());
     buf_pool_.Release(std::move(batch));  // copied into the segment above
-    co_await CommitRdmaWrite(fs, order, batch_len, /*qp_num=*/0);
+    co_await CommitRdmaWrite(fs, order, batch_len, /*qp_num=*/0,
+                             /*stream=*/0);
     while (!fs->aborted && !OrderCommitted(fs, order)) {
       (void)co_await fs->commit_event->WaitFor(
           config_.shared_produce_hole_timeout * 4);
@@ -207,6 +274,11 @@ KafkaDirectBroker::AcceptRdma(std::shared_ptr<rdma::QueuePair> client_qp) {
   PostCtrlRecvs(qp, kCtrlRecvsPerQp);
   rdma_qps_[qp->qp_num()] = qp;
   sim::Spawn(sim_, WatchQpFailure(qp));
+  if (conn_cache_ != nullptr) {
+    // May evict the coldest live QP (OnCacheEvict) to stay within the
+    // transport budget — DCT-style on-demand connections.
+    conn_cache_->Insert(qp->qp_num(), qp);
+  }
   co_return qp;
 }
 
@@ -280,6 +352,12 @@ sim::Co<void> KafkaDirectBroker::WatchQpFailure(
   for (auto& [ref, grant] : ring_grants_) {
     if (grant->qp_num == qp->qp_num()) grant->closed = true;
   }
+  if (mux_ != nullptr) {
+    // Streams survive transport death: their committed counts are the
+    // reconnect resync anchor (§14).
+    mux_->DetachQp(qp->qp_num());
+  }
+  if (conn_cache_ != nullptr) conn_cache_->Erase(qp->qp_num());
   ReleaseQpRecvPool(qp->qp_num());
   rdma_qps_.erase(qp->qp_num());
 }
@@ -351,6 +429,7 @@ sim::Co<void> KafkaDirectBroker::RdmaPollerLoop() {
 
 void KafkaDirectBroker::HandleRdmaCompletion(const rdma::WorkCompletion& wc) {
   if (!wc.ok()) return;  // QP failure handled by watchers
+  if (conn_cache_ != nullptr) conn_cache_->Touch(wc.qp_num);
   if (wc.opcode == rdma::Opcode::kRecvWithImm) {
     uint16_t file_id = ImmFileId(wc.imm_data);
     uint16_t order = ImmOrder(wc.imm_data);
@@ -390,7 +469,19 @@ void KafkaDirectBroker::HandleRdmaCompletion(const rdma::WorkCompletion& wc) {
       produce_req.order = order;
       produce_req.byte_len = static_cast<uint32_t>(msg.value);
       produce_req.qp_num = wc.qp_num;
+      produce_req.stream = msg.stream;
+      if (mux_ != nullptr && msg.stream != 0) {
+        // Per-stream credit layered on the SRQ: the window is returned
+        // with the ack, so one stream can never monopolize the shared
+        // receive pool.
+        rdma::MuxStream* s = mux_->Find(msg.stream);
+        if (s != nullptr) (void)mux_->ConsumeCredit(s);
+      }
       EnqueueRequest(std::move(produce_req));
+    } else if (msg.kind == CtrlKind::kMuxOpen) {
+      HandleMuxOpen(msg, wc.qp_num);
+    } else if (msg.kind == CtrlKind::kMuxClose) {
+      HandleMuxClose(msg, wc.qp_num);
     } else if (msg.kind == CtrlKind::kHwmUpdate) {
       // Leader -> follower high-watermark propagation on the push path.
       auto fit = rdma_files_.find(static_cast<uint16_t>(msg.aux));
@@ -495,6 +586,7 @@ void KafkaDirectBroker::AbortFile(RdmaFileState* fs, ErrorCode error) {
       msg.kind = CtrlKind::kProduceAck;
       msg.order = order;
       msg.error = static_cast<uint16_t>(error);
+      msg.stream = pending.stream;
       by_qp[pending.qp_num].push_back(msg);
     }
     for (auto& [qp_num, msgs] : by_qp) {
@@ -507,6 +599,7 @@ void KafkaDirectBroker::AbortFile(RdmaFileState* fs, ErrorCode error) {
         msg.kind = CtrlKind::kProduceAck;
         msg.order = order;
         msg.error = static_cast<uint16_t>(error);
+        msg.stream = pending.stream;
         SendCtrl(pending.qp_num, msg);
       }
     }
@@ -606,26 +699,29 @@ sim::Co<void> KafkaDirectBroker::HandleRdmaProduceArrival(Request req) {
   auto it = rdma_files_.find(req.file_id);
   if (it == rdma_files_.end()) co_return;  // revoked or unknown: drop
   co_await CommitRdmaWrite(it->second.get(), req.order, req.byte_len,
-                           req.qp_num);
+                           req.qp_num, req.stream);
 }
 
 sim::Co<void> KafkaDirectBroker::CommitRdmaWrite(RdmaFileState* fs,
                                                  uint16_t order,
                                                  uint32_t byte_len,
-                                                 uint32_t qp_num) {
+                                                 uint32_t qp_num,
+                                                 uint32_t stream) {
   if (fs->aborted) {
     if (qp_num != 0) {
       CtrlMsg msg;
       msg.kind = CtrlKind::kProduceAck;
       msg.order = order;
       msg.error = static_cast<uint16_t>(ErrorCode::kRdmaAccessDenied);
+      msg.stream = stream;
       SendCtrl(qp_num, msg);
     }
     co_return;
   }
   if (order != fs->next_expected_order) {
     // Out-of-order arrival: request i must wait for request i-1 (§4.2.2).
-    fs->pending[order] = RdmaFileState::PendingWrite{byte_len, qp_num};
+    fs->pending[order] = RdmaFileState::PendingWrite{byte_len, qp_num,
+                                                     stream};
     if (!fs->hole_watch_armed) {
       fs->hole_watch_armed = true;
       sim::Spawn(sim_, HoleWatchdog(fs, fs->next_expected_order));
@@ -635,6 +731,7 @@ sim::Co<void> KafkaDirectBroker::CommitRdmaWrite(RdmaFileState* fs,
   uint16_t cur_order = order;
   uint32_t cur_len = byte_len;
   uint32_t cur_qp = qp_num;
+  uint32_t cur_stream = stream;
   while (true) {
     PartitionState* ps = fs->ps;
     kafka::Segment* seg = ps->log.segments()[fs->seg_index].get();
@@ -683,6 +780,7 @@ sim::Co<void> KafkaDirectBroker::CommitRdmaWrite(RdmaFileState* fs,
         msg.kind = CtrlKind::kProduceAck;
         msg.order = cur_order;
         msg.error = static_cast<uint16_t>(ErrorCode::kCorruptMessage);
+        msg.stream = cur_stream;
         SendCtrl(cur_qp, msg);
       }
       AbortFile(fs, ErrorCode::kRdmaAccessDenied);
@@ -742,16 +840,26 @@ sim::Co<void> KafkaDirectBroker::CommitRdmaWrite(RdmaFileState* fs,
         }
       }
       if (cur_qp != 0) {
+        if (mux_ != nullptr && cur_stream != 0) {
+          // §14: the commit advances the stream's resync anchor, and the
+          // ack about to go out returns the stream's notify credit.
+          rdma::MuxStream* s = mux_->Find(cur_stream);
+          if (s != nullptr) {
+            mux_->RecordCommit(s);
+            mux_->RefillCredit(s);
+          }
+        }
         int64_t required = base + count;
         if (ps->log.high_watermark() >= required) {
           CtrlMsg msg;
           msg.kind = CtrlKind::kProduceAck;
           msg.order = cur_order;
           msg.value = base;
+          msg.stream = cur_stream;
           SendCtrl(cur_qp, msg);
         } else {
           sim::Spawn(sim_, AckWhenCommitted(ps, cur_qp, cur_order, base,
-                                            required));
+                                            required, cur_stream));
         }
       }
     }
@@ -761,6 +869,7 @@ sim::Co<void> KafkaDirectBroker::CommitRdmaWrite(RdmaFileState* fs,
     cur_order = next->first;
     cur_len = next->second.byte_len;
     cur_qp = next->second.qp_num;
+    cur_stream = next->second.stream;
     fs->pending.erase(next);
   }
 }
@@ -769,7 +878,8 @@ sim::Co<void> KafkaDirectBroker::AckWhenCommitted(PartitionState* ps,
                                                   uint32_t qp_num,
                                                   uint16_t order,
                                                   int64_t base,
-                                                  int64_t required) {
+                                                  int64_t required,
+                                                  uint32_t stream) {
   while (ps->log.high_watermark() < required) {
     bool fired =
         co_await ps->hwm_advanced.WaitFor(30ll * 1000 * 1000 * 1000);
@@ -778,6 +888,7 @@ sim::Co<void> KafkaDirectBroker::AckWhenCommitted(PartitionState* ps,
       msg.kind = CtrlKind::kProduceAck;
       msg.order = order;
       msg.error = static_cast<uint16_t>(ErrorCode::kTimedOut);
+      msg.stream = stream;
       SendCtrl(qp_num, msg);
       co_return;
     }
@@ -786,6 +897,7 @@ sim::Co<void> KafkaDirectBroker::AckWhenCommitted(PartitionState* ps,
   msg.kind = CtrlKind::kProduceAck;
   msg.order = order;
   msg.value = base;
+  msg.stream = stream;
   SendCtrl(qp_num, msg);
 }
 
@@ -1175,7 +1287,19 @@ ConsumerSession* KafkaDirectBroker::SessionFor(
     const net::MessageStreamPtr& conn) {
   auto it = consumer_sessions_.find(conn.get());
   if (it != consumer_sessions_.end()) return it->second.get();
-  auto session = std::make_unique<ConsumerSession>(rnic_);
+  std::unique_ptr<ConsumerSession> session;
+  if (session_arena_ != nullptr) {
+    int32_t slab = session_arena_->Alloc();
+    if (slab >= 0) {
+      // §14: O(1) — one slab pop under the arena's single MR instead of a
+      // fresh per-session registration.
+      session = std::make_unique<ConsumerSession>(
+          *session_arena_, static_cast<uint32_t>(slab));
+    }
+  }
+  if (session == nullptr) {
+    session = std::make_unique<ConsumerSession>(rnic_);
+  }
   ConsumerSession* raw = session.get();
   consumer_sessions_[conn.get()] = std::move(session);
   return raw;
@@ -1294,8 +1418,8 @@ sim::Co<void> KafkaDirectBroker::HandleConsumeAccess(Request req) {
     grant->slot_index = slot;
     WriteSlot(session->slot(slot), resp.last_readable, true);
     resp.slot_index = static_cast<uint32_t>(slot);
-    resp.slot_region_addr = session->mr->addr();
-    resp.slot_rkey = session->mr->rkey();
+    resp.slot_region_addr = session->region_addr();
+    resp.slot_rkey = session->region_rkey();
   }
   Ext(*ps)->consume_grants.push_back(grant.get());
   consume_grants_[grant->file_ref] = std::move(grant);
@@ -1607,6 +1731,132 @@ sim::Co<void> KafkaDirectBroker::HandleUnregister(Request req) {
   (void)rnic_.DeregisterMemory(grant->mr);
   consume_grants_.erase(it);
   SendResponse(req.conn, Encode(resp));
+}
+
+// ---------------------------------------------------------------------------
+// §14 million-client connection architecture
+// ---------------------------------------------------------------------------
+
+void KafkaDirectBroker::HandleMuxOpen(const CtrlMsg& msg, uint32_t qp_num) {
+  uint32_t count = std::max<uint32_t>(1, msg.aux);
+  CtrlMsg grant;
+  grant.kind = CtrlKind::kMuxGrant;
+  grant.stream = msg.stream;
+  if (mux_ == nullptr || msg.stream == 0) {
+    // Stream 0 is the reserved unmuxed id; opens for it are malformed.
+    grant.error = static_cast<uint16_t>(
+        mux_ == nullptr ? ErrorCode::kRdmaAccessDenied
+                        : ErrorCode::kInvalidRequest);
+    SendCtrl(qp_num, grant);
+    return;
+  }
+  uint32_t admitted = 0;
+  uint64_t first_committed = 0;
+  for (uint32_t i = 0; i < count; i++) {
+    rdma::MuxStream* s = nullptr;
+    if (mux_->Open(msg.stream + i, qp_num, &s) ==
+        rdma::QpMux::OpenResult::kRejected) {
+      break;
+    }
+    if (i == 0) first_committed = s->committed;
+    admitted++;
+  }
+  if (adm_obs_.admitted != nullptr) {
+    if (admitted > 0) adm_obs_.admitted->Increment(admitted);
+    if (admitted < count) adm_obs_.rejected->Increment(count - admitted);
+    adm_obs_.active->Set(static_cast<int64_t>(mux_->active()));
+  }
+  grant.aux = admitted;  // contiguous prefix [stream, stream+admitted)
+  grant.order = static_cast<uint16_t>(mux_->stream_credits());
+  if (admitted == count) {
+    // Single-stream reopen (the lazy-reconnect path) replays the stream's
+    // committed count so the client can resolve its unacked records
+    // exactly-once; bulk opens get a plain full-admission grant.
+    grant.value = count == 1 ? static_cast<int64_t>(first_committed) : 0;
+  } else {
+    // Admission control: don't stall the client, tell it when to retry
+    // (§14). Without the flag the rejection is still explicit, just
+    // without a pacing hint.
+    grant.error = static_cast<uint16_t>(ErrorCode::kResourceExhausted);
+    grant.value = config_.admission_control
+                      ? static_cast<int64_t>(config_.admission_retry_after_ns)
+                      : 0;
+  }
+  SendCtrl(qp_num, grant);
+}
+
+void KafkaDirectBroker::HandleMuxClose(const CtrlMsg& msg, uint32_t qp_num) {
+  (void)qp_num;  // close is idempotent and unacknowledged
+  if (mux_ == nullptr || msg.stream == 0) return;
+  uint32_t count = std::max<uint32_t>(1, msg.aux);
+  for (uint32_t i = 0; i < count; i++) {
+    (void)mux_->Close(msg.stream + i);
+  }
+  if (adm_obs_.active != nullptr) {
+    adm_obs_.active->Set(static_cast<int64_t>(mux_->active()));
+  }
+}
+
+void KafkaDirectBroker::OnCacheEvict(uint32_t qp_num,
+                                     std::shared_ptr<rdma::QueuePair> qp) {
+  // Detach before disconnecting so the streams' committed counts survive
+  // as reconnect anchors; the QP failure watcher handles the rest of the
+  // teardown (file aborts, receive-pool recycling) exactly as it would
+  // for a client that died on its own.
+  if (mux_ != nullptr) mux_->DetachQp(qp_num);
+  qp->Disconnect();
+}
+
+bool KafkaDirectBroker::EvictQp(uint32_t qp_num) {
+  auto it = rdma_qps_.find(qp_num);
+  if (it == rdma_qps_.end()) return false;
+  std::shared_ptr<rdma::QueuePair> qp = it->second;
+  if (conn_cache_ != nullptr) conn_cache_->Erase(qp_num);
+  OnCacheEvict(qp_num, std::move(qp));
+  return true;
+}
+
+uint64_t KafkaDirectBroker::mux_meta_peak_bytes() const {
+  uint64_t bytes = 0;
+  if (meta_arena_ != nullptr) bytes += meta_arena_->peak_used_bytes();
+  if (session_arena_ != nullptr) bytes += session_arena_->peak_used_bytes();
+  return bytes;
+}
+
+// ---------------------------------------------------------------------------
+// Coroutine-aware teardown (§14)
+// ---------------------------------------------------------------------------
+
+void KafkaDirectBroker::Shutdown() {
+  if (!started_ || shut_down_) return;
+  // Client/replication QPs first: Disconnect fails both ends, which wakes
+  // the per-QP watchers, engines, and any client loop parked on a CQ.
+  // Copy out of the map — WatchQpFailure erases entries as it runs.
+  std::vector<std::shared_ptr<rdma::QueuePair>> qps;
+  qps.reserve(rdma_qps_.size());
+  for (auto& [num, qp] : rdma_qps_) qps.push_back(qp);
+  for (auto& qp : qps) qp->Disconnect();
+  // Leader-side push-replication sessions: close the entry queues (the
+  // replicator loops exit on nullopt) and shut their CQs so the credit
+  // drainers drain and return.
+  for (auto& [tp, ps] : partitions_) {
+    if (ps->ext == nullptr) continue;
+    auto* ext = static_cast<KdPartitionExt*>(ps->ext.get());
+    for (auto& session : ext->push_sessions) {
+      if (session->queue != nullptr) session->queue->Close();
+      if (session->qp != nullptr) session->qp->Disconnect();
+      if (session->send_cq != nullptr) session->send_cq->Shutdown();
+      if (session->recv_cq != nullptr) session->recv_cq->Shutdown();
+    }
+  }
+  for (auto& [ref, grant] : ring_grants_) grant->closed = true;
+  if (loop_qp_ != nullptr) loop_qp_->Disconnect();
+  if (loop_cq_ != nullptr) loop_cq_->Shutdown();
+  if (loop_peer_cq_ != nullptr) loop_peer_cq_->Shutdown();
+  // Last: the shared CQ, so the poller loop drains whatever the
+  // disconnects flushed and runs to completion.
+  if (rdma_cq_ != nullptr) rdma_cq_->Shutdown();
+  Broker::Shutdown();
 }
 
 }  // namespace kd

@@ -24,7 +24,9 @@
 #include "direct/control.h"
 #include "kafka/broker.h"
 #include "rdma/completion_queue.h"
+#include "rdma/qp_mux.h"
 #include "rdma/queue_pair.h"
+#include "rdma/slot_arena.h"
 #include "rdma/srq.h"
 
 namespace kafkadirect {
@@ -55,6 +57,7 @@ struct RdmaFileState {
   struct PendingWrite {
     uint32_t byte_len;
     uint32_t qp_num;
+    uint32_t stream;  // logical mux stream the ack goes to (0 = unmuxed)
   };
   std::map<uint16_t, PendingWrite> pending;  // out-of-order arrivals
   bool hole_watch_armed = false;
@@ -112,22 +115,39 @@ struct ConsumeGrant {
   int32_t slot_index = -1;
 };
 
-/// Per-consumer contiguous metadata-slot region (Fig. 9).
+/// Per-consumer contiguous metadata-slot region (Fig. 9). Paper-exact mode
+/// registers a fresh MemoryRegion per session; with
+/// BrokerConfig::metadata_arena the region is one recycled slab of the
+/// broker's session arena instead (§14: O(1) registration per client).
 struct ConsumerSession {
   static constexpr uint32_t kNumSlots = 64;
   static constexpr uint32_t kSlotSize = 16;
+  static constexpr uint32_t kRegionBytes = kNumSlots * kSlotSize;
 
   explicit ConsumerSession(rdma::Rnic& rnic);
+  /// Arena-backed: borrows `arena_slot` (kRegionBytes wide) from `arena`.
+  ConsumerSession(rdma::SlotArena& arena, uint32_t arena_slot);
+  ~ConsumerSession();
 
-  std::vector<uint8_t> region;
-  rdma::MemoryRegionPtr mr;
+  std::vector<uint8_t> region;  // empty in arena mode
+  rdma::MemoryRegionPtr mr;     // own MR, or the shared arena MR
   std::vector<bool> used;
+
+  /// Remote address/rkey of the slot region handed to the consumer.
+  uint64_t region_addr() const { return region_addr_; }
+  uint32_t region_rkey() const { return mr->rkey(); }
 
   /// Lowest free slot (the broker "tries to keep assigned slots in close
   /// proximity to each other", §4.4.2).
   int32_t AllocSlot();
   void FreeSlot(int32_t index);
-  uint8_t* slot(int32_t index) { return region.data() + index * kSlotSize; }
+  uint8_t* slot(int32_t index) { return base_ + index * kSlotSize; }
+
+ private:
+  uint8_t* base_ = nullptr;
+  uint64_t region_addr_ = 0;
+  rdma::SlotArena* arena_ = nullptr;  // set in arena mode
+  int32_t arena_slot_ = -1;
 };
 
 /// Slot contents: {u64 last_readable, u8 mutable flag}.
@@ -184,6 +204,12 @@ class KafkaDirectBroker : public kafka::Broker {
 
   Status Start() override;
 
+  /// Coroutine-aware teardown (§14): disconnects every client and
+  /// replication QP, closes push queues and ring grants, shuts down the
+  /// broker CQs so parked pollers drain, then runs the base TCP walk.
+  /// Idempotent; the simulator must be drained afterwards.
+  void Shutdown() override;
+
   /// Out-of-band connection-manager exchange: accepts a client QP and
   /// returns the broker-side QP bound to the broker's shared CQs. Stands in
   /// for the rdma_cm handshake the paper's "RDMA connection string" implies.
@@ -206,6 +232,24 @@ class KafkaDirectBroker : public kafka::Broker {
 
   /// The broker's shared receive queue (nullptr unless config.use_srq).
   rdma::SharedReceiveQueue* srq() const { return srq_.get(); }
+
+  // --- §14 million-client connection architecture ---
+  /// Logical-stream directory (nullptr unless config.qp_mux).
+  rdma::QpMux* mux() const { return mux_.get(); }
+  /// LRU transport cache (nullptr unless config.connection_cache).
+  rdma::ConnectionCache* connection_cache() const { return conn_cache_.get(); }
+  /// Slab arena backing mux stream slots (nullptr unless qp_mux or
+  /// metadata_arena).
+  rdma::SlotArena* metadata_arena() const { return meta_arena_.get(); }
+  /// Live broker-side client QPs (the scaling bench asserts this is
+  /// O(active clients) with the connection cache on).
+  size_t live_rdma_qps() const { return rdma_qps_.size(); }
+  /// Peak per-client metadata bytes pinned by the mux arena(s); the
+  /// scaling bench asserts this is client-count-independent.
+  uint64_t mux_meta_peak_bytes() const;
+  /// Test hook: force-evict one QP exactly as the LRU would (disconnect +
+  /// stream detach). Returns false if the QP is unknown.
+  bool EvictQp(uint32_t qp_num);
 
  protected:
   sim::Co<void> HandleExtendedRequest(Request req) override;
@@ -253,7 +297,8 @@ class KafkaDirectBroker : public kafka::Broker {
   sim::Co<void> HandleProduceAccess(Request req);
   sim::Co<void> HandleRdmaProduceArrival(Request req);
   sim::Co<void> CommitRdmaWrite(RdmaFileState* fs, uint16_t order,
-                                uint32_t byte_len, uint32_t qp_num);
+                                uint32_t byte_len, uint32_t qp_num,
+                                uint32_t stream);
   sim::Co<void> HoleWatchdog(RdmaFileState* fs, uint16_t expected);
   RdmaFileState* CreateFileState(kafka::PartitionState& ps, bool shared,
                                  bool replica);
@@ -269,7 +314,18 @@ class KafkaDirectBroker : public kafka::Broker {
   /// Sends the produce ack once `required` is covered by the HWM.
   sim::Co<void> AckWhenCommitted(kafka::PartitionState* ps, uint32_t qp_num,
                                  uint16_t order, int64_t base,
-                                 int64_t required);
+                                 int64_t required, uint32_t stream);
+
+  // --- §14 million-client connection architecture ---
+  /// Handles a kMuxOpen ctrl message: admits (or re-attaches) `aux`
+  /// contiguous streams starting at msg.stream, replying with one
+  /// kMuxGrant; over-capacity opens are rejected with a retry-after hint
+  /// when admission control is on.
+  void HandleMuxOpen(const CtrlMsg& msg, uint32_t qp_num);
+  void HandleMuxClose(const CtrlMsg& msg, uint32_t qp_num);
+  /// ConnectionCache evict hook: detaches the victim's streams and
+  /// disconnects it (clients lazily reconnect on next use).
+  void OnCacheEvict(uint32_t qp_num, std::shared_ptr<rdma::QueuePair> qp);
 
   // --- push replication (leader side) ---
   sim::Co<void> PushReplicatorLoop(kafka::TopicPartitionId tp,
@@ -353,6 +409,21 @@ class KafkaDirectBroker : public kafka::Broker {
     obs::Gauge* credit_cap = nullptr;
   };
   KdObsHandles kd_obs_;
+  /// §14 connection layer (all nullptr when the flags are off, so the
+  /// paper-exact datapath is untouched).
+  std::unique_ptr<rdma::SlotArena> meta_arena_;     // mux stream slots
+  std::unique_ptr<rdma::SlotArena> session_arena_;  // consumer slot regions
+  std::unique_ptr<rdma::QpMux> mux_;
+  std::unique_ptr<rdma::ConnectionCache> conn_cache_;
+  /// kd.broker.admission.* instruments (registered only when the mux is
+  /// enabled; the monitor's admission invariant is vacuous otherwise).
+  struct AdmissionObs {
+    obs::Counter* admitted = nullptr;
+    obs::Counter* rejected = nullptr;
+    obs::Gauge* active = nullptr;
+    obs::Gauge* capacity = nullptr;
+  };
+  AdmissionObs adm_obs_;
   /// Loopback QP pair for the broker's own FAA on shared files (§4.2.2:
   /// TCP produce to an RDMA-shared file reserves via an atomic to itself).
   std::shared_ptr<rdma::QueuePair> loop_qp_, loop_peer_qp_;

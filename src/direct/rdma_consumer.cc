@@ -24,6 +24,9 @@ RdmaConsumer::~RdmaConsumer() = default;
 
 void RdmaConsumer::Close() {
   if (qp_ != nullptr) qp_->Disconnect();
+  // Wake any coroutine parked on the CQ (ring-consume pollers) so its
+  // frame completes instead of leaking (coroutine-aware teardown, §14).
+  if (cq_ != nullptr) cq_->Shutdown();
   if (ctrl_ != nullptr) ctrl_->Close();
 }
 

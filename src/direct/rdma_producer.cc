@@ -36,6 +36,10 @@ RdmaProducer::~RdmaProducer() {
 void RdmaProducer::Close() {
   closed_ = true;
   if (qp_ != nullptr) qp_->Disconnect();
+  // Wake RecvAckLoop/SendCqDrainer parked on an empty CQ so their frames
+  // run to completion instead of leaking (coroutine-aware teardown, §14).
+  if (send_cq_ != nullptr) send_cq_->Shutdown();
+  if (recv_cq_ != nullptr) recv_cq_->Shutdown();
   if (ctrl_ != nullptr) ctrl_->Close();
 }
 

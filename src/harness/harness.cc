@@ -121,6 +121,14 @@ TestCluster::TestCluster(DeploymentConfig config)
 
 TestCluster::~TestCluster() {
   obs::Observability& ob = fabric_->obs();
+  // Coroutine-aware teardown (DESIGN.md §14): stop the periodic monitor
+  // tick, walk every broker's Shutdown() (QP disconnects, listener/channel
+  // closes, CQ shutdowns), then drain the engine so every woken coroutine
+  // frame runs to completion and frees itself. Without this walk, frames
+  // parked on never-signalled channels/CQs leak at process exit.
+  ob.monitor.StopTicking();
+  cluster_->Shutdown();
+  engine_.RunUntil(engine_.Now() + Seconds(2));
   // Final invariant sweep at teardown — catches end-state violations even
   // when no tick landed after the last datapath event. Runs before the
   // file exports so a strict abort still leaves the flight dump behind

@@ -86,7 +86,26 @@ void Broker::SetTopicMetadata(const std::string& topic,
 }
 
 void Broker::ServeListener(std::shared_ptr<net::StreamListener> listener) {
+  served_listeners_.push_back(listener);
   sim::Spawn(sim_, AcceptLoop(std::move(listener)));
+}
+
+void Broker::Shutdown() {
+  if (!started_ || shut_down_) return;
+  shut_down_ = true;
+  // Stop accepting: AcceptLoop's pending Accept resolves with an error and
+  // the loop finishes.
+  if (listener_ != nullptr) listener_->Shutdown();
+  for (auto& listener : served_listeners_) listener->Shutdown();
+  // Close accepted connections: every parked ConnectionReader's Recv fails
+  // and its frame unwinds (the socket Close also breaks the TCP pair's
+  // mutual shared_ptr cycle).
+  for (auto& weak : accepted_conns_) {
+    if (auto conn = weak.lock()) conn->Close();
+  }
+  accepted_conns_.clear();
+  // Wake parked API workers with nullopt.
+  requests_.Close();
 }
 
 PartitionState* Broker::GetPartition(const TopicPartitionId& tp) {
@@ -104,6 +123,7 @@ sim::Co<void> Broker::AcceptLoop(
   while (true) {
     auto conn = co_await listener->Accept();
     if (!conn.ok()) co_return;
+    accepted_conns_.push_back(conn.value());
     sim::Spawn(sim_, ConnectionReader(std::move(conn).value()));
   }
 }
@@ -128,6 +148,7 @@ sim::Co<void> Broker::ConnectionReader(net::MessageStreamPtr conn) {
 }
 
 void Broker::EnqueueRequest(Request req) {
+  if (requests_.closed()) return;  // late RDMA completions during shutdown
   req.enqueue_ns = sim_.Now();
   req.queue_span_id = tracer_->AsyncBegin(queue_track_, "queue.wait");
   requests_.Push(std::move(req));

@@ -106,6 +106,40 @@ struct BrokerConfig {
   /// shard 0) under a standalone Simulator.
   int32_t shard_affinity = -1;
 
+  // --- Million-client connection architecture (DESIGN.md §14). All
+  // default off so the paper figures stay bit-identical. ---
+
+  /// QP multiplexing: accept logical client streams (kMuxOpen/kMuxClose
+  /// ctrl messages) carried over shared transport QPs, demuxed on the
+  /// 32-bit stream id in the ctrl header, with per-stream notify credits
+  /// layered on the SRQ.
+  bool qp_mux = false;
+  /// Notify credits granted per logical stream at open.
+  uint32_t mux_stream_credits = 4;
+
+  /// DCT-like connection cache: keep live transport QPs in an LRU, evict
+  /// the coldest (Disconnect) when over capacity. Clients reconnect
+  /// lazily on next use; stream state survives via the mux directory.
+  bool connection_cache = false;
+  uint32_t connection_cache_capacity = 64;
+
+  /// Per-client metadata (mux stream slots, consumer-session metadata
+  /// slots) lives in one SlotArena MemoryRegion registered at Start()
+  /// instead of one MR per client: the N-th client costs a free-list pop,
+  /// not a RegistrationCost page-pinning charge.
+  bool metadata_arena = false;
+  /// Arena capacity in slots; bounds simultaneously-active clients.
+  uint32_t metadata_arena_slots = 65536;
+
+  /// Admission control: when mux slots / metadata slots run dry, reject
+  /// stream opens with a retry-after hint instead of stalling the broker.
+  /// Off = opens beyond capacity are rejected with a hard error.
+  bool admission_control = false;
+  /// Cap on simultaneously-open logical streams (0 = arena capacity).
+  uint32_t admission_max_streams = 0;
+  /// Suggested client backoff carried in the rejection grant.
+  sim::TimeNs admission_retry_after_ns = 1 * 1000 * 1000;  // 1 ms
+
   /// FAULT INJECTION (monitor/flight-recorder tests only): a paced credit
   /// flush grants this many credits beyond the pacer's target window,
   /// deliberately pushing credits_outstanding past the RNR-proof cap so the
@@ -163,6 +197,7 @@ class Broker {
     uint16_t order = 0;
     uint32_t byte_len = 0;
     uint32_t qp_num = 0;  // QP the RDMA request arrived on (for acks)
+    uint32_t stream = 0;  // logical mux stream (0 = unmuxed), §14
     sim::TimeNs enqueue_ns = 0;   // when it entered the request queue
     uint64_t queue_span_id = 0;   // open "queue.wait" trace span
   };
@@ -173,6 +208,14 @@ class Broker {
 
   /// Binds the TCP listener and spawns network processors + API workers.
   virtual Status Start();
+
+  /// Coroutine-aware teardown: shuts down every listener, closes accepted
+  /// connections and the shared request channel so parked network
+  /// processors, readers, and API workers run to completion instead of
+  /// leaking their suspended frames (ROADMAP: coroutine-aware shutdown).
+  /// Idempotent. The simulator must be drained afterwards for the woken
+  /// coroutines to actually finish.
+  virtual void Shutdown();
 
   /// Registers a partition hosted by this broker (called by the Cluster
   /// controller at topic creation).
@@ -307,8 +350,15 @@ class Broker {
   std::map<TopicPartitionId, std::unique_ptr<PartitionState>> partitions_;
   std::map<std::string, std::vector<int32_t>> topic_metadata_;
   std::shared_ptr<tcpnet::TcpListener> listener_;
+  /// Extra listeners passed to ServeListener (OSU transport); shut down
+  /// with the broker.
+  std::vector<std::shared_ptr<net::StreamListener>> served_listeners_;
+  /// Accepted connections, for Shutdown(); weak so a closed connection's
+  /// storage is reclaimed as soon as its reader finishes.
+  std::vector<std::weak_ptr<net::MessageStream>> accepted_conns_;
   BrokerStats stats_;
   bool started_ = false;
+  bool shut_down_ = false;
 
   /// kd.broker.<id>.* instruments; registered once in the constructor,
   /// bumped allocation-free on hot paths.

@@ -34,6 +34,10 @@ Status Cluster::Start() {
   return Status::OK();
 }
 
+void Cluster::Shutdown() {
+  for (auto& broker : brokers_) broker->Shutdown();
+}
+
 Status Cluster::CreateTopic(const std::string& topic, int partitions,
                             int replication_factor) {
   if (partitions <= 0 || replication_factor <= 0 ||

@@ -32,6 +32,13 @@ class Cluster {
   /// Creates and starts all brokers.
   Status Start();
 
+  /// Coroutine-aware teardown (DESIGN.md §14): walks every broker's
+  /// Shutdown(), which disconnects QPs, closes listeners/channels and
+  /// shuts completion queues so parked coroutine frames run to
+  /// completion (and free themselves) instead of leaking at exit. Run
+  /// the simulator to idle afterwards to drain the woken frames.
+  void Shutdown();
+
   /// Creates a topic with `partitions` partitions, each replicated
   /// `replication_factor` times. Leaders are assigned round-robin.
   /// Replication runs over TCP pull, or RDMA push when the broker template

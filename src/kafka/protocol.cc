@@ -60,6 +60,7 @@ const char* ErrorCodeName(ErrorCode code) {
     case ErrorCode::kRdmaAccessDenied: return "RdmaAccessDenied";
     case ErrorCode::kInvalidRequest: return "InvalidRequest";
     case ErrorCode::kTimedOut: return "TimedOut";
+    case ErrorCode::kResourceExhausted: return "ResourceExhausted";
   }
   return "?";
 }

@@ -54,6 +54,7 @@ enum class ErrorCode : int16_t {
   kRdmaAccessDenied,
   kInvalidRequest,
   kTimedOut,
+  kResourceExhausted,  // admission control: retry after a backoff (§14)
 };
 
 const char* ErrorCodeName(ErrorCode code);

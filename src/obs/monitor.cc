@@ -149,6 +149,26 @@ void InstallStandardWatchers(Monitor& monitor) {
         *detail = os.str();
         return false;
       });
+
+  monitor.AddWatcher(
+      "broker.admission_bounded",
+      [](const MetricsRegistry& m, std::string* detail) {
+        // §14 admission control: the active logical-stream count must
+        // never exceed the advertised capacity — over-limit opens are
+        // rejected with a retry-after, not admitted. Vacuous unless the
+        // QP mux registered its gauges.
+        const Gauge* active = m.FindGauge("kd.broker.admission.active");
+        const Gauge* cap = m.FindGauge("kd.broker.admission.capacity");
+        if (active == nullptr || cap == nullptr) return true;
+        if (active->value() <= cap->value() &&
+            active->high_water() <= cap->value())
+          return true;
+        std::ostringstream os;
+        os << "admission.active=" << active->value() << " (high_water="
+           << active->high_water() << ") > capacity=" << cap->value();
+        *detail = os.str();
+        return false;
+      });
 }
 
 }  // namespace obs

@@ -91,6 +91,16 @@ class CompletionQueue
   /// state and kills every attached QP.
   void Push(const WorkCompletion& wc);
 
+  /// Administrative teardown (coroutine-aware shutdown): moves the CQ to
+  /// the error state and wakes any parked Next*/NextBatch waiter so its
+  /// owning poll loop drains the remaining CQEs and runs to completion
+  /// instead of leaking a suspended frame. Does NOT tear down attached
+  /// QPs — disconnect those first.
+  void Shutdown() {
+    error_ = true;
+    arrival_.Pulse();
+  }
+
   void AttachQp(QueuePair* qp) { qps_.push_back(qp); }
   void DetachQp(QueuePair* qp);
 

@@ -1,0 +1,151 @@
+#include "rdma/qp_mux.h"
+
+namespace kafkadirect {
+namespace rdma {
+
+QpMux::QpMux(SlotArena& arena, uint32_t max_streams, uint32_t stream_credits,
+             obs::MetricsRegistry& metrics)
+    : arena_(arena),
+      max_streams_(max_streams == 0 ? arena.num_slots() : max_streams),
+      stream_credits_(stream_credits) {
+  opened_counter_ = metrics.GetCounter("kd.rdma.mux.streams_opened");
+  reattached_counter_ = metrics.GetCounter("kd.rdma.cache.reconnects");
+  credit_stalls_ = metrics.GetCounter("kd.rdma.mux.credit_stalls");
+  active_gauge_ = metrics.GetGauge("kd.rdma.mux.streams_active");
+  meta_bytes_gauge_ = metrics.GetGauge("kd.rdma.mux.meta_bytes");
+}
+
+void QpMux::WriteThrough(const MuxStream& s) {
+  uint8_t* p = arena_.SlotPtr(s.slot);
+  EncodeFixed32(p, s.id);
+  EncodeFixed32(p + 4, s.qp_num);
+  EncodeFixed32(p + 8, s.credits);
+  EncodeFixed32(p + 12, 0);
+  EncodeFixed64(p + 16, s.committed);
+}
+
+QpMux::OpenResult QpMux::Open(uint32_t id, uint32_t qp_num, MuxStream** out) {
+  auto it = streams_.find(id);
+  if (it != streams_.end()) {
+    MuxStream& s = it->second;
+    if (s.qp_num != qp_num) reattached_counter_->Increment();
+    s.qp_num = qp_num;
+    s.credits = stream_credits_;
+    WriteThrough(s);
+    if (out != nullptr) *out = &s;
+    return OpenResult::kReattached;
+  }
+  if (streams_.size() >= max_streams_) return OpenResult::kRejected;
+  int32_t slot = arena_.Alloc();
+  if (slot < 0) return OpenResult::kRejected;
+  MuxStream s;
+  s.id = id;
+  s.qp_num = qp_num;
+  s.credits = stream_credits_;
+  s.slot = static_cast<uint32_t>(slot);
+  s.committed = 0;
+  WriteThrough(s);
+  auto [ins, _] = streams_.emplace(id, s);
+  opened_total_++;
+  opened_counter_->Increment();
+  active_gauge_->Set(static_cast<int64_t>(streams_.size()));
+  // Live bytes, not peak: the gauge answers "how much metadata is pinned
+  // right now". Peak is tracked by the arena itself (peak_used_bytes) and
+  // surfaced by the bench as meta_peak_bytes.
+  meta_bytes_gauge_->Set(static_cast<int64_t>(streams_.size()) *
+                         arena_.slot_size());
+  if (out != nullptr) *out = &ins->second;
+  return OpenResult::kAdmitted;
+}
+
+MuxStream* QpMux::Find(uint32_t id) {
+  auto it = streams_.find(id);
+  return it == streams_.end() ? nullptr : &it->second;
+}
+
+bool QpMux::Close(uint32_t id) {
+  auto it = streams_.find(id);
+  if (it == streams_.end()) return false;
+  arena_.Free(it->second.slot);
+  streams_.erase(it);
+  active_gauge_->Set(static_cast<int64_t>(streams_.size()));
+  meta_bytes_gauge_->Set(static_cast<int64_t>(streams_.size()) *
+                         arena_.slot_size());
+  return true;
+}
+
+void QpMux::DetachQp(uint32_t qp_num) {
+  for (auto& [id, s] : streams_) {
+    if (s.qp_num == qp_num) {
+      s.qp_num = 0;
+      WriteThrough(s);
+    }
+  }
+}
+
+bool QpMux::ConsumeCredit(MuxStream* s) {
+  if (s->credits == 0) {
+    credit_stalls_->Increment();
+    return false;
+  }
+  s->credits--;
+  WriteThrough(*s);
+  return true;
+}
+
+void QpMux::RefillCredit(MuxStream* s) {
+  if (s->credits < stream_credits_) s->credits++;
+  WriteThrough(*s);
+}
+
+void QpMux::RecordCommit(MuxStream* s) {
+  s->committed++;
+  WriteThrough(*s);
+}
+
+ConnectionCache::ConnectionCache(size_t capacity,
+                                 obs::MetricsRegistry& metrics)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  hits_ = metrics.GetCounter("kd.rdma.cache.hits");
+  evictions_counter_ = metrics.GetCounter("kd.rdma.cache.evictions");
+  live_gauge_ = metrics.GetGauge("kd.rdma.cache.live_qps");
+}
+
+void ConnectionCache::Insert(uint32_t qp_num, std::shared_ptr<QueuePair> qp) {
+  auto it = index_.find(qp_num);
+  if (it != index_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    it->second->qp = std::move(qp);
+    return;
+  }
+  while (index_.size() >= capacity_) {
+    Entry victim = lru_.back();
+    index_.erase(victim.qp_num);
+    lru_.pop_back();
+    evictions_total_++;
+    evictions_counter_->Increment();
+    live_gauge_->Set(static_cast<int64_t>(index_.size()));
+    if (evict_hook_) evict_hook_(victim.qp_num, std::move(victim.qp));
+  }
+  lru_.push_front(Entry{qp_num, std::move(qp)});
+  index_[qp_num] = lru_.begin();
+  live_gauge_->Set(static_cast<int64_t>(index_.size()));
+}
+
+void ConnectionCache::Touch(uint32_t qp_num) {
+  auto it = index_.find(qp_num);
+  if (it == index_.end()) return;
+  hits_->Increment();
+  lru_.splice(lru_.begin(), lru_, it->second);
+}
+
+void ConnectionCache::Erase(uint32_t qp_num) {
+  auto it = index_.find(qp_num);
+  if (it == index_.end()) return;
+  lru_.erase(it->second);
+  index_.erase(it);
+  live_gauge_->Set(static_cast<int64_t>(index_.size()));
+}
+
+}  // namespace rdma
+}  // namespace kafkadirect

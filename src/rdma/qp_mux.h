@@ -1,0 +1,148 @@
+// QpMux + ConnectionCache: the connection layer of the million-client
+// architecture (DESIGN.md §14).
+//
+// QpMux is the broker-side directory of *logical client streams* carried
+// over a small pool of transport QPs (RDMAvisor-style multiplexing): each
+// stream is identified by the 32-bit `stream` word in the 24-byte ctrl
+// header, gets a per-stream credit window layered on the SRQ (so the
+// aggregate inbound ctrl rate stays bounded by the shared pool), and keeps
+// its wire-visible metadata — current transport QP, credit window,
+// committed-record count — in one SlotArena slot. The committed count is
+// what makes reconnect exactly-once: it survives transport-QP eviction,
+// and the re-open grant replays it to the client, which then resolves or
+// re-sends its unacked records.
+//
+// ConnectionCache is the DCT-like on-demand transport layer: an LRU of
+// live QPs, touched on every inbound completion, evicting the coldest
+// connection when capacity is hit. The evict hook disconnects the QP
+// (clients lazily reconnect on next use), so the live QP count is
+// O(active clients) instead of O(total clients).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <unordered_map>
+
+#include "common/byte_order.h"
+#include "obs/metrics.h"
+#include "rdma/slot_arena.h"
+
+namespace kafkadirect {
+namespace rdma {
+
+class QueuePair;
+
+/// One logical client stream. The canonical copy of the mutable fields
+/// lives in the stream's arena slot (WriteThrough/ReadBack); this struct
+/// is the broker's decoded working view.
+struct MuxStream {
+  uint32_t id = 0;
+  uint32_t qp_num = 0;    // current transport QP; 0 = detached (evicted)
+  uint32_t credits = 0;   // remaining notify credits
+  uint32_t slot = 0;      // SlotArena slot index
+  uint64_t committed = 0; // records committed on this stream (resync anchor)
+};
+
+class QpMux {
+ public:
+  /// Slot layout: id(4) qp_num(4) credits(4) reserved(4) committed(8).
+  static constexpr uint32_t kSlotBytes = 24;
+
+  enum class OpenResult {
+    kAdmitted,    // new stream registered
+    kReattached,  // known stream re-bound to a (possibly new) transport QP
+    kRejected,    // no slot available (arena or admission limit)
+  };
+
+  /// `max_streams` caps simultaneously-open streams (0 = arena capacity);
+  /// `stream_credits` is the per-stream notify window granted at open.
+  QpMux(SlotArena& arena, uint32_t max_streams, uint32_t stream_credits,
+        obs::MetricsRegistry& metrics);
+
+  /// Opens (or re-attaches) stream `id` on transport QP `qp_num`.
+  OpenResult Open(uint32_t id, uint32_t qp_num, MuxStream** out);
+  MuxStream* Find(uint32_t id);
+  bool Close(uint32_t id);
+
+  /// Marks every stream carried by `qp_num` as detached (eviction / QP
+  /// failure). Streams stay registered — their committed counts are the
+  /// reconnect resync anchor.
+  void DetachQp(uint32_t qp_num);
+
+  /// Consumes one notify credit; false when the window is dry.
+  bool ConsumeCredit(MuxStream* s);
+  /// Returns one credit with the ack (receiver-paced replenishment).
+  void RefillCredit(MuxStream* s);
+  /// Records one committed record and writes the slot back.
+  void RecordCommit(MuxStream* s);
+
+  size_t active() const { return streams_.size(); }
+  uint32_t max_streams() const { return max_streams_; }
+  uint32_t stream_credits() const { return stream_credits_; }
+  uint64_t opened() const { return opened_total_; }
+  SlotArena& arena() { return arena_; }
+
+ private:
+  void WriteThrough(const MuxStream& s);
+
+  SlotArena& arena_;
+  uint32_t max_streams_;
+  uint32_t stream_credits_;
+  std::unordered_map<uint32_t, MuxStream> streams_;
+  uint64_t opened_total_ = 0;
+
+  obs::Counter* opened_counter_;
+  obs::Counter* reattached_counter_;
+  obs::Counter* credit_stalls_;
+  obs::Gauge* active_gauge_;
+  obs::Gauge* meta_bytes_gauge_;
+};
+
+/// LRU cache of live transport QPs keyed by qp_num.
+class ConnectionCache {
+ public:
+  using EvictHook =
+      std::function<void(uint32_t qp_num, std::shared_ptr<QueuePair> qp)>;
+
+  ConnectionCache(size_t capacity, obs::MetricsRegistry& metrics);
+
+  void set_evict_hook(EvictHook hook) { evict_hook_ = std::move(hook); }
+
+  /// Registers a live QP as most-recently-used; evicts the LRU entry
+  /// first when at capacity (the hook runs on the victim).
+  void Insert(uint32_t qp_num, std::shared_ptr<QueuePair> qp);
+
+  /// Bumps recency on inbound traffic. Counts a cache hit when known.
+  void Touch(uint32_t qp_num);
+
+  /// Removes a QP that died on its own (no evict hook).
+  void Erase(uint32_t qp_num);
+
+  bool Contains(uint32_t qp_num) const {
+    return index_.find(qp_num) != index_.end();
+  }
+  size_t size() const { return index_.size(); }
+  size_t capacity() const { return capacity_; }
+  uint64_t evictions() const { return evictions_total_; }
+
+ private:
+  struct Entry {
+    uint32_t qp_num;
+    std::shared_ptr<QueuePair> qp;
+  };
+
+  size_t capacity_;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<uint32_t, std::list<Entry>::iterator> index_;
+  EvictHook evict_hook_;
+  uint64_t evictions_total_ = 0;
+
+  obs::Counter* hits_;
+  obs::Counter* evictions_counter_;
+  obs::Gauge* live_gauge_;
+};
+
+}  // namespace rdma
+}  // namespace kafkadirect

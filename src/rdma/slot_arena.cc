@@ -1,0 +1,45 @@
+#include "rdma/slot_arena.h"
+
+namespace kafkadirect {
+namespace rdma {
+
+SlotArena::SlotArena(Rnic& rnic, uint32_t slot_size, uint32_t num_slots,
+                     uint32_t access)
+    : rnic_(rnic),
+      slot_size_(slot_size),
+      num_slots_(num_slots),
+      storage_(static_cast<size_t>(slot_size) * num_slots) {
+  KD_CHECK(slot_size > 0 && num_slots > 0);
+  auto mr = rnic_.RegisterMemory(storage_.data(), storage_.size(), access);
+  KD_CHECK(mr.ok());
+  mr_ = std::move(mr).value();
+}
+
+SlotArena::~SlotArena() {
+  if (mr_ != nullptr) (void)rnic_.DeregisterMemory(mr_);
+}
+
+int32_t SlotArena::Alloc() {
+  uint32_t slot;
+  if (!free_list_.empty()) {
+    slot = free_list_.back();
+    free_list_.pop_back();
+  } else if (bump_ < num_slots_) {
+    slot = bump_++;
+  } else {
+    return -1;
+  }
+  used_++;
+  if (used_ > peak_used_) peak_used_ = used_;
+  return static_cast<int32_t>(slot);
+}
+
+void SlotArena::Free(uint32_t slot) {
+  KD_CHECK(slot < num_slots_);
+  KD_CHECK(used_ > 0);
+  used_--;
+  free_list_.push_back(slot);
+}
+
+}  // namespace rdma
+}  // namespace kafkadirect

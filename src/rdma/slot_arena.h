@@ -1,0 +1,80 @@
+// SlotArena: one large registered memory region carved into fixed-size
+// slots — the hugepage-analogue MR arena of the million-client connection
+// architecture (DESIGN.md §14).
+//
+// The paper-exact broker registers a fresh MemoryRegion per consumer
+// session and would do the same per producer stream, paying
+// Rnic::RegistrationCost (page pinning, ~20 µs) and one rkey-table entry
+// for every client. The arena inverts that: ONE registration at
+// construction covers every slot, so handing metadata to the N-th client
+// is a free-list pop — O(1) host work, zero additional pinned bytes, and
+// the broker's per-client metadata footprint is bounded by the number of
+// *active* clients (slots are recycled on stream close / session end),
+// not the total client population.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+#include "rdma/memory_region.h"
+#include "rdma/rnic.h"
+
+namespace kafkadirect {
+namespace rdma {
+
+class SlotArena {
+ public:
+  /// Registers `num_slots * slot_size` bytes as a single MemoryRegion with
+  /// `access` permissions. The registration cost is paid once by the
+  /// caller (charge rnic.RegistrationCost(bytes()) where appropriate).
+  SlotArena(Rnic& rnic, uint32_t slot_size, uint32_t num_slots,
+            uint32_t access);
+  ~SlotArena();
+  SlotArena(const SlotArena&) = delete;
+  SlotArena& operator=(const SlotArena&) = delete;
+
+  /// O(1): bump allocation until the arena has been fully touched once,
+  /// free-list pop afterwards. Returns -1 when every slot is in use.
+  int32_t Alloc();
+
+  /// Returns a slot to the free list.
+  void Free(uint32_t slot);
+
+  uint8_t* SlotPtr(uint32_t slot) {
+    KD_CHECK(slot < num_slots_);
+    return storage_.data() + static_cast<size_t>(slot) * slot_size_;
+  }
+  /// Remote virtual address of a slot (for one-sided access grants).
+  uint64_t SlotAddr(uint32_t slot) {
+    return mr_->addr() + static_cast<uint64_t>(slot) * slot_size_;
+  }
+
+  const MemoryRegionPtr& mr() const { return mr_; }
+  uint32_t slot_size() const { return slot_size_; }
+  uint32_t num_slots() const { return num_slots_; }
+  uint32_t used() const { return used_; }
+  /// High-water mark of simultaneously-used slots — what the scaling bench
+  /// asserts stays O(active clients).
+  uint32_t peak_used() const { return peak_used_; }
+  /// Total pinned bytes (constant for the arena's lifetime).
+  uint64_t bytes() const { return storage_.size(); }
+  /// Bytes covered by the high-water mark of live slots.
+  uint64_t peak_used_bytes() const {
+    return static_cast<uint64_t>(peak_used_) * slot_size_;
+  }
+
+ private:
+  Rnic& rnic_;
+  uint32_t slot_size_;
+  uint32_t num_slots_;
+  std::vector<uint8_t> storage_;
+  MemoryRegionPtr mr_;
+  std::vector<uint32_t> free_list_;
+  uint32_t bump_ = 0;       // next never-used slot
+  uint32_t used_ = 0;
+  uint32_t peak_used_ = 0;
+};
+
+}  // namespace rdma
+}  // namespace kafkadirect

@@ -103,7 +103,7 @@ TEST(StandardWatchersTest, PassVacuouslyOnEmptyRegistry) {
   MetricsRegistry reg;
   Monitor mon;
   InstallStandardWatchers(mon);
-  EXPECT_EQ(mon.num_watchers(), 5u);
+  EXPECT_EQ(mon.num_watchers(), 6u);
   EXPECT_EQ(mon.CheckNow(reg, 1), 0);
 }
 
@@ -173,6 +173,21 @@ TEST(StandardWatchersTest, SrqBounded) {
   reg.GetGauge("kd.rdma.srq.depth")->Set(257);
   EXPECT_EQ(mon.CheckNow(reg, 2), 1);
   EXPECT_EQ(mon.violations()[0].watcher, "rdma.srq_bounded");
+}
+
+TEST(StandardWatchersTest, AdmissionBounded) {
+  MetricsRegistry reg;
+  Monitor mon;
+  InstallStandardWatchers(mon);
+  reg.GetGauge("kd.broker.admission.capacity")->Set(1024);
+  reg.GetGauge("kd.broker.admission.active")->Set(1024);
+  EXPECT_EQ(mon.CheckNow(reg, 1), 0);
+  // Over-admission: more live streams than the broker advertised. The
+  // high-water mark catches a transient breach even after a close.
+  reg.GetGauge("kd.broker.admission.active")->Set(1025);
+  reg.GetGauge("kd.broker.admission.active")->Set(512);
+  EXPECT_EQ(mon.CheckNow(reg, 2), 1);
+  EXPECT_EQ(mon.violations()[0].watcher, "broker.admission_bounded");
 }
 
 }  // namespace

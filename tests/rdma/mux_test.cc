@@ -1,0 +1,179 @@
+// Unit tests for the §14 connection-layer primitives: SlotArena (O(1)
+// arena-backed per-client metadata), QpMux (logical-stream directory with
+// per-stream credits and commit counts), and ConnectionCache (LRU of live
+// transport QPs with an evict hook).
+#include "rdma/qp_mux.h"
+
+#include <gtest/gtest.h>
+
+#include "net/fabric.h"
+#include "rdma/queue_pair.h"
+#include "rdma/rnic.h"
+#include "rdma/slot_arena.h"
+#include "sim/simulator.h"
+
+namespace kafkadirect {
+namespace rdma {
+namespace {
+
+class MuxTest : public ::testing::Test {
+ protected:
+  MuxTest() : fabric_(sim_, cost_), rnic_(sim_, fabric_, AddNode()) {}
+
+  net::NodeId AddNode() { return fabric_.AddNode("mux-test"); }
+
+  sim::Simulator sim_;
+  CostModel cost_;
+  net::Fabric fabric_;
+  Rnic rnic_;
+  obs::MetricsRegistry metrics_;
+};
+
+// --- SlotArena -------------------------------------------------------------
+
+TEST_F(MuxTest, ArenaAllocIsBumpThenFreelist) {
+  SlotArena arena(rnic_, 24, 4, kAccessRemoteRead);
+  EXPECT_EQ(arena.bytes(), 96u);
+  int32_t a = arena.Alloc();
+  int32_t b = arena.Alloc();
+  EXPECT_EQ(a, 0);
+  EXPECT_EQ(b, 1);
+  EXPECT_EQ(arena.used(), 2u);
+  arena.Free(static_cast<uint32_t>(a));
+  // The freed slot is recycled before any untouched slot.
+  EXPECT_EQ(arena.Alloc(), 0);
+  EXPECT_EQ(arena.Alloc(), 2);
+  EXPECT_EQ(arena.Alloc(), 3);
+  EXPECT_EQ(arena.Alloc(), -1);  // full
+  EXPECT_EQ(arena.used(), 4u);
+}
+
+TEST_F(MuxTest, ArenaTracksPeakNotTotal) {
+  SlotArena arena(rnic_, 16, 8, kAccessRemoteRead);
+  // Churn 100 allocations through a window of at most 2 live slots: the
+  // peak must reflect the window, not the churn volume.
+  for (int i = 0; i < 100; i++) {
+    int32_t a = arena.Alloc();
+    int32_t b = arena.Alloc();
+    ASSERT_GE(a, 0);
+    ASSERT_GE(b, 0);
+    arena.Free(static_cast<uint32_t>(a));
+    arena.Free(static_cast<uint32_t>(b));
+  }
+  EXPECT_EQ(arena.used(), 0u);
+  EXPECT_EQ(arena.peak_used(), 2u);
+  EXPECT_EQ(arena.peak_used_bytes(), 32u);
+}
+
+TEST_F(MuxTest, ArenaSlotsLiveInsideOneRegion) {
+  SlotArena arena(rnic_, 32, 4, kAccessRemoteRead);
+  for (uint32_t s = 0; s < 4; s++) {
+    EXPECT_EQ(arena.SlotAddr(s), arena.mr()->addr() + s * 32);
+    EXPECT_TRUE(arena.mr()->Allows(arena.SlotAddr(s), 32,
+                                   kAccessRemoteRead));
+  }
+}
+
+// --- QpMux -----------------------------------------------------------------
+
+TEST_F(MuxTest, OpenAdmitsUntilCapThenRejects) {
+  SlotArena arena(rnic_, QpMux::kSlotBytes, 8, kAccessRemoteRead);
+  QpMux mux(arena, /*max_streams=*/2, /*stream_credits=*/4, metrics_);
+  MuxStream* s1 = nullptr;
+  MuxStream* s2 = nullptr;
+  MuxStream* s3 = nullptr;
+  EXPECT_EQ(mux.Open(1, 100, &s1), QpMux::OpenResult::kAdmitted);
+  EXPECT_EQ(mux.Open(2, 100, &s2), QpMux::OpenResult::kAdmitted);
+  EXPECT_EQ(mux.Open(3, 100, &s3), QpMux::OpenResult::kRejected);
+  EXPECT_EQ(mux.active(), 2u);
+  EXPECT_EQ(s1->credits, 4u);
+  // Closing frees the slot for the next open.
+  EXPECT_TRUE(mux.Close(1));
+  EXPECT_EQ(mux.Open(3, 100, &s3), QpMux::OpenResult::kAdmitted);
+  EXPECT_EQ(arena.used(), 2u);
+}
+
+TEST_F(MuxTest, ReopenReattachesAndKeepsCommittedCount) {
+  SlotArena arena(rnic_, QpMux::kSlotBytes, 8, kAccessRemoteRead);
+  QpMux mux(arena, 0, 4, metrics_);
+  MuxStream* s = nullptr;
+  ASSERT_EQ(mux.Open(7, 100, &s), QpMux::OpenResult::kAdmitted);
+  mux.RecordCommit(s);
+  mux.RecordCommit(s);
+  ASSERT_TRUE(mux.ConsumeCredit(s));
+  // Transport dies: streams detach but stay registered.
+  mux.DetachQp(100);
+  EXPECT_EQ(mux.Find(7)->qp_num, 0u);
+  EXPECT_EQ(mux.active(), 1u);
+  // Re-open on a new QP: same slot, committed count preserved (the
+  // exactly-once resync anchor), credits reset to a full window.
+  MuxStream* r = nullptr;
+  EXPECT_EQ(mux.Open(7, 200, &r), QpMux::OpenResult::kReattached);
+  EXPECT_EQ(r->qp_num, 200u);
+  EXPECT_EQ(r->committed, 2u);
+  EXPECT_EQ(r->credits, 4u);
+  EXPECT_EQ(arena.used(), 1u);
+}
+
+TEST_F(MuxTest, CreditWindowDriesUpAndRefills) {
+  SlotArena arena(rnic_, QpMux::kSlotBytes, 8, kAccessRemoteRead);
+  QpMux mux(arena, 0, 2, metrics_);
+  MuxStream* s = nullptr;
+  ASSERT_EQ(mux.Open(1, 100, &s), QpMux::OpenResult::kAdmitted);
+  EXPECT_TRUE(mux.ConsumeCredit(s));
+  EXPECT_TRUE(mux.ConsumeCredit(s));
+  EXPECT_FALSE(mux.ConsumeCredit(s));  // dry
+  mux.RefillCredit(s);
+  EXPECT_TRUE(mux.ConsumeCredit(s));
+}
+
+TEST_F(MuxTest, MetaBytesGaugeTracksActiveStreams) {
+  SlotArena arena(rnic_, QpMux::kSlotBytes, 8, kAccessRemoteRead);
+  QpMux mux(arena, 0, 4, metrics_);
+  MuxStream* s = nullptr;
+  mux.Open(1, 100, &s);
+  mux.Open(2, 100, &s);
+  const obs::Gauge* g = metrics_.FindGauge("kd.rdma.mux.meta_bytes");
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(g->value(), 2 * QpMux::kSlotBytes);
+  mux.Close(1);
+  EXPECT_EQ(g->value(), QpMux::kSlotBytes);
+}
+
+// --- ConnectionCache -------------------------------------------------------
+
+TEST_F(MuxTest, CacheEvictsLeastRecentlyTouched) {
+  ConnectionCache cache(2, metrics_);
+  std::vector<uint32_t> evicted;
+  cache.set_evict_hook([&](uint32_t qp_num, std::shared_ptr<QueuePair>) {
+    evicted.push_back(qp_num);
+  });
+  auto cq = rnic_.CreateCq();
+  cache.Insert(1, rnic_.CreateQp(cq, cq));
+  cache.Insert(2, rnic_.CreateQp(cq, cq));
+  // Touch 1 so 2 becomes the LRU victim.
+  cache.Touch(1);
+  cache.Insert(3, rnic_.CreateQp(cq, cq));
+  EXPECT_EQ(evicted, std::vector<uint32_t>({2}));
+  EXPECT_TRUE(cache.Contains(1));
+  EXPECT_FALSE(cache.Contains(2));
+  EXPECT_TRUE(cache.Contains(3));
+  EXPECT_EQ(cache.evictions(), 1u);
+}
+
+TEST_F(MuxTest, CacheEraseSkipsEvictHook) {
+  ConnectionCache cache(4, metrics_);
+  int hook_calls = 0;
+  cache.set_evict_hook(
+      [&](uint32_t, std::shared_ptr<QueuePair>) { hook_calls++; });
+  auto cq = rnic_.CreateCq();
+  cache.Insert(1, rnic_.CreateQp(cq, cq));
+  cache.Erase(1);  // QP died on its own: no hook, no eviction counted
+  EXPECT_EQ(hook_calls, 0);
+  EXPECT_EQ(cache.evictions(), 0u);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+}  // namespace
+}  // namespace rdma
+}  // namespace kafkadirect

@@ -4,7 +4,10 @@
 # paths — InlineFunction storage/relocation, the vector-based event heap,
 # BufferPool recycling, the SIMD CRC32C kernels, and the flight-recorder
 # ring / monitor callbacks — which is exactly the code where a lifetime or
-# aliasing bug would hide.
+# aliasing bug would hide. The §14 churn suite rides along: QP
+# connect/disconnect cycles, LRU eviction with transparent reconnect, and
+# eviction racing in-flight acks are the paths most likely to leak a
+# coroutine frame or touch a freed transport.
 #
 # Usage: tools/check_asan.sh
 set -euo pipefail
@@ -13,18 +16,19 @@ ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD_DIR="$ROOT/build-asan"
 
 cmake --preset asan -S "$ROOT" >/dev/null
-cmake --build "$BUILD_DIR" -j"$(nproc)" --target common_test sim_test sharded_test obs_test
+cmake --build "$BUILD_DIR" -j"$(nproc)" --target common_test sim_test sharded_test obs_test churn_test
 
+# No LSAN_OPTIONS / suppression file: deployment teardown is now
+# coroutine-aware (Cluster::Shutdown walks brokers -> QPs/sockets ->
+# channels and ~TestCluster drains the woken frames), so leak checking
+# runs unsuppressed — any report is a real regression.
 export ASAN_OPTIONS=detect_leaks=1:strict_string_checks=1
 export UBSAN_OPTIONS=print_stacktrace=1:halt_on_error=1
-# The obs suite spins up full TestCluster deployments, whose destructor-only
-# teardown leaves known coroutine<->channel reference cycles (see
-# tools/lsan_suppressions.txt and ROADMAP.md); suppress those, keep the rest.
-export LSAN_OPTIONS=suppressions="$ROOT/tools/lsan_suppressions.txt"
 
 "$BUILD_DIR/tests/common_test"
 "$BUILD_DIR/tests/sim_test"
 "$BUILD_DIR/tests/sharded_test"
 "$BUILD_DIR/tests/obs_test"
+"$BUILD_DIR/tests/churn_test"
 
-echo "asan/ubsan: all common + sim + sharded + obs tests passed"
+echo "asan/ubsan: all common + sim + sharded + obs + churn tests passed"

@@ -8,7 +8,8 @@
 # primary subjects of this pass. The obs suite rides along: the flight
 # recorder borrows the SPSC ring layout and must stay clean under the same
 # scrutiny even though the harness drives it from merged (single-threaded)
-# mode.
+# mode. The §14 churn suite (QP connect/disconnect cycles, LRU eviction,
+# reconnect racing in-flight acks) rides along for the same reason.
 #
 # Usage: tools/check_tsan.sh
 set -euo pipefail
@@ -17,7 +18,7 @@ ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD_DIR="$ROOT/build-tsan"
 
 cmake --preset tsan -S "$ROOT" >/dev/null
-cmake --build "$BUILD_DIR" -j"$(nproc)" --target common_test sim_test sharded_test obs_test
+cmake --build "$BUILD_DIR" -j"$(nproc)" --target common_test sim_test sharded_test obs_test churn_test
 
 export TSAN_OPTIONS=halt_on_error=1:second_deadlock_stack=1
 
@@ -25,5 +26,6 @@ export TSAN_OPTIONS=halt_on_error=1:second_deadlock_stack=1
 "$BUILD_DIR/tests/sim_test"
 "$BUILD_DIR/tests/sharded_test"
 "$BUILD_DIR/tests/obs_test"
+"$BUILD_DIR/tests/churn_test"
 
-echo "tsan: all common + sim + sharded + obs tests passed"
+echo "tsan: all common + sim + sharded + obs + churn tests passed"

@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Compare a tbl_client_scaling JSON report against the baseline.
+
+Semantics follow tools/compare_datapath.py: the bench is deterministic in
+virtual time, so sim-derived metrics must match the committed baseline
+within --tolerance (default 10%, relative, either direction). Zero-valued
+baselines (e.g. `rejected`) are invariants — any nonzero current value
+fails regardless of tolerance. Key-set drift fails in BOTH directions: a
+benchmark or metric present in only one report (renamed, dropped, or
+added without refreshing BENCH_client_scaling.baseline.json) is an error,
+never silently skipped.
+
+Host-speed-dependent metrics (any key starting with "host_") are excluded
+from gating: they exist in the JSON for eyeballing, but vary with the
+machine running the gate.
+
+On top of the per-metric diff, two memory-constancy group checks encode
+the §14 scaling claims directly (so a baseline refresh cannot silently
+launder them away):
+  - all client_scaling_mux/* rows must report identical
+    ctrl_recv_buf_bytes AND identical meta_peak_bytes — broker memory is
+    O(active streams), independent of the logical client count;
+  - all client_scaling/*/srq_on rows must report identical
+    ctrl_recv_buf_bytes — the SRQ arena does not grow with producers.
+
+Usage: tools/compare_client_scaling.py BASELINE CURRENT [--tolerance 0.10]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        report = json.load(f)
+    rows = {}
+    for entry in report.get("benchmarks", []):
+        name = entry["name"]
+        rows[name] = {k: v for k, v in entry.items()
+                      if k != "name" and isinstance(v, (int, float))
+                      and not isinstance(v, bool)
+                      and not k.startswith("host_")}
+    return rows
+
+
+def constancy_failures(rows):
+    """The §14 memory claims, checked on the CURRENT report."""
+    failures = []
+    for prefix, keys in (
+            ("client_scaling_mux/", ("ctrl_recv_buf_bytes",
+                                     "meta_peak_bytes")),
+            ("client_scaling/", ("ctrl_recv_buf_bytes",))):
+        for key in keys:
+            values = {}
+            for name, metrics in rows.items():
+                if not name.startswith(prefix):
+                    continue
+                if prefix == "client_scaling/" and not name.endswith(
+                        "/srq_on"):
+                    continue
+                if key in metrics:
+                    values[name] = metrics[key]
+            if len(set(values.values())) > 1:
+                failures.append(
+                    f"memory constancy violated: {key} differs across "
+                    f"{prefix}* rows: {sorted(values.items())}")
+    return failures
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--tolerance", type=float, default=0.10,
+                        help="max relative deviation per metric "
+                             "(default 0.10)")
+    args = parser.parse_args()
+
+    base = load(args.baseline)
+    cur = load(args.current)
+
+    failures = []
+    missing = sorted(set(base) - set(cur))
+    unexpected = sorted(set(cur) - set(base))
+    for name in sorted(base):
+        if name not in cur:
+            continue
+        for key in sorted(set(cur[name]) - set(base[name])):
+            failures.append(
+                f"{name}: metric '{key}' not in baseline (refresh "
+                f"BENCH_client_scaling.baseline.json)")
+        for key, bval in sorted(base[name].items()):
+            if key not in cur[name]:
+                failures.append(f"{name}: metric '{key}' missing")
+                continue
+            cval = cur[name][key]
+            if bval == 0:
+                ok = cval == 0
+                delta = "" if ok else f" (now {cval})"
+            else:
+                rel = cval / bval - 1.0
+                ok = abs(rel) <= args.tolerance
+                delta = f" ({rel:+.1%})"
+            status = "ok" if ok else "DEVIATED"
+            print(f"{name:32} {key:22} {bval:14.3f} -> {cval:14.3f}"
+                  f"{delta:12} {status}")
+            if not ok:
+                failures.append(f"{name}/{key}: {bval} -> {cval}")
+
+    failures.extend(constancy_failures(cur))
+
+    if missing:
+        print(f"error: benchmarks missing from current report: "
+              f"{', '.join(missing)}", file=sys.stderr)
+        return 1
+    if unexpected:
+        print(f"error: benchmarks not in baseline (refresh it): "
+              f"{', '.join(unexpected)}", file=sys.stderr)
+        return 1
+    if failures:
+        for f in failures:
+            print(f"error: {f}", file=sys.stderr)
+        return 1
+    print(f"client_scaling: all metrics within {args.tolerance:.0%} of "
+          f"baseline; memory-constancy checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

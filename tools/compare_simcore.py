@@ -108,7 +108,18 @@ def main():
     # multi-core host (or vice versa) gates on host shape, not the code.
     # Those comparisons soften to warnings.
     base_cores = str(base_report.get("context", {}).get("host_cores", ""))
+    cur_cores = str(cur_report.get("context", {}).get("host_cores", ""))
     single_core_baseline = base_cores == "1"
+    for label, cores in (("baseline", base_cores), ("current", cur_cores)):
+        if cores == "1":
+            print("*" * 72, file=sys.stderr)
+            print(f"* WARNING: the {label} report was captured on a 1-core "
+                  f"host (context.host_cores=1).", file=sys.stderr)
+            print("* Its threads:N>1 times are serialized and carry no "
+                  "thread-scaling signal;", file=sys.stderr)
+            print("* treat every parallel-variant comparison below with "
+                  "suspicion.", file=sys.stderr)
+            print("*" * 72, file=sys.stderr)
 
     def soft(name):
         m = re.search(r"/threads:(\d+)", name)

@@ -9,6 +9,11 @@
 #   3b. Datapath-protocol gate: bench/abl_datapath_protocols (deterministic
 #      virtual-time metrics) vs BENCH_datapath_protocols.baseline.json —
 #      fails on a >10% deviation (tools/compare_datapath.py).
+#   3b'. Client-scaling gate: bench/tbl_client_scaling (16 K -> 1 M logical
+#      clients over multiplexed QPs, §14) vs
+#      BENCH_client_scaling.baseline.json — fails on deviation, key-set
+#      drift, or a memory-constancy violation
+#      (tools/compare_client_scaling.py).
 #   3c. Live-monitor exercise: bench/tbl_slo_tenants runs with the invariant
 #      monitor ticking in --strict mode (any watcher violation aborts the
 #      bench and thus the gate), then tools/obs_report.py diffs its
@@ -46,6 +51,11 @@ if [[ "$FAST" == 0 ]]; then
   python3 "$ROOT/tools/compare_datapath.py" \
     "$ROOT/BENCH_datapath_protocols.baseline.json" \
     "$ROOT/BENCH_datapath_protocols.json" --tolerance 0.10
+  "$BUILD_DIR/bench/tbl_client_scaling" \
+    --json="$ROOT/BENCH_client_scaling.json" >/dev/null
+  python3 "$ROOT/tools/compare_client_scaling.py" \
+    "$ROOT/BENCH_client_scaling.baseline.json" \
+    "$ROOT/BENCH_client_scaling.json" --tolerance 0.10
   "$BUILD_DIR/bench/tbl_slo_tenants" --strict --monitor_period=100000 \
     --metrics_json="$ROOT/BENCH_slo.json" >/dev/null
   python3 "$ROOT/tools/obs_report.py" "$ROOT/BENCH_slo.baseline.json" \
