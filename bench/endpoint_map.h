@@ -1,0 +1,33 @@
+// Static endpoint→partition routing shared by the §14 million-client mux
+// sweep (tbl_client_scaling) and the §15 failover bench (tbl_failover).
+// Endpoint e always drives partition (e % partitions) of `topic` and owns
+// the contiguous logical-stream id range starting at its stream_base
+// (stream id 0 is reserved for unmuxed traffic). The map is static on
+// purpose: deterministic routing keeps both benches byte-reproducible and
+// lets the failover bench pin exactly which endpoints ride the killed
+// leader (partition p is led by broker p % num_brokers at topic creation,
+// so the endpoints hit by a kill are known up front).
+#pragma once
+
+#include <string>
+
+#include "kafka/protocol.h"
+
+namespace kafkadirect {
+namespace bench {
+
+struct EndpointRoute {
+  kafka::TopicPartitionId tp;
+  uint32_t stream_base = 0;  // first logical stream id owned by the endpoint
+};
+
+inline EndpointRoute RouteForEndpoint(const std::string& topic, int endpoint,
+                                      int partitions,
+                                      uint32_t streams_per_endpoint) {
+  return EndpointRoute{
+      kafka::TopicPartitionId{topic, endpoint % partitions},
+      1 + static_cast<uint32_t>(endpoint) * streams_per_endpoint};
+}
+
+}  // namespace bench
+}  // namespace kafkadirect

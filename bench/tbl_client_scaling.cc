@@ -25,6 +25,7 @@
 #include <cstring>
 #include <fstream>
 
+#include "bench/endpoint_map.h"
 #include "direct/mux_producer.h"
 #include "harness/harness.h"
 #include "sim/awaitable.h"
@@ -191,11 +192,12 @@ MuxPoint RunMuxPoint(int logical_clients) {
   uint32_t per_endpoint =
       static_cast<uint32_t>(logical_clients / kMuxEndpoints);
   for (int e = 0; e < kMuxEndpoints; e++) {
-    // Stream id 0 is reserved for unmuxed traffic; endpoint e owns the
-    // contiguous id range [1 + e*per_endpoint, 1 + (e+1)*per_endpoint).
-    uint32_t base = 1 + static_cast<uint32_t>(e) * per_endpoint;
+    // The static endpoint→partition map (bench/endpoint_map.h) routes
+    // endpoint e to its own partition and a contiguous stream id range.
+    EndpointRoute route =
+        RouteForEndpoint(topic, e, kMuxEndpoints, per_endpoint);
     sim::Spawn(cluster.sim(),
-               MuxEndpoint(&cluster, kafka::TopicPartitionId{topic, e}, base,
+               MuxEndpoint(&cluster, route.tp, route.stream_base,
                            per_endpoint, &connected, &go, &done, &latencies,
                            &records));
   }

@@ -550,6 +550,7 @@ RdmaFileState* KafkaDirectBroker::CreateFileState(PartitionState& ps,
   fs->shared = shared;
   fs->replica = replica;
   fs->next_commit_pos = ps.log.head().size();
+  fs->granted_epoch = ps.leader_epoch;
   fs->commit_event = std::make_unique<sim::Event>(sim_);
   kafka::Segment& seg = ps.log.head();
   fs->mr = rnic_.RegisterMemory(seg.data(), seg.capacity(),
@@ -716,6 +717,22 @@ sim::Co<void> KafkaDirectBroker::CommitRdmaWrite(RdmaFileState* fs,
       msg.stream = stream;
       SendCtrl(qp_num, msg);
     }
+    co_return;
+  }
+  if (config_.control_plane && !fs->replica &&
+      (!fs->ps->is_leader || fs->ps->leader_epoch != fs->granted_epoch)) {
+    // Leader-epoch fence on the zero-copy path (§15): the partition moved
+    // (or this broker was demoted) after the grant; nothing from the stale
+    // grant may commit — the producer must re-request at the new leader.
+    if (qp_num != 0) {
+      CtrlMsg msg;
+      msg.kind = CtrlKind::kProduceAck;
+      msg.order = order;
+      msg.error = static_cast<uint16_t>(ErrorCode::kFencedLeaderEpoch);
+      msg.stream = stream;
+      SendCtrl(qp_num, msg);
+    }
+    AbortFile(fs, ErrorCode::kFencedLeaderEpoch);
     co_return;
   }
   if (order != fs->next_expected_order) {
@@ -1336,6 +1353,24 @@ void KafkaDirectBroker::OnHwmAdvanced(PartitionState& ps) {
 
 void KafkaDirectBroker::OnRolled(PartitionState& ps) {
   if (config_.rdma_consume) UpdateConsumeSlots(ps);
+}
+
+void KafkaDirectBroker::OnLeadershipChanged(PartitionState& ps,
+                                            bool is_leader) {
+  if (is_leader) {
+    // Newly promoted: consumers re-subscribing here get fresh grants from
+    // current state; nothing to fence.
+    if (config_.rdma_consume) UpdateConsumeSlots(ps);
+    return;
+  }
+  // Demoted: fence every zero-copy handle on this partition.
+  KdPartitionExt* ext = Ext(ps);
+  if (ext->produce_file != nullptr) {
+    AbortFile(ext->produce_file, ErrorCode::kNotLeader);
+  }
+  for (auto& [ref, grant] : ring_grants_) {
+    if (grant->ps == &ps) grant->closed = true;
+  }
 }
 
 sim::Co<void> KafkaDirectBroker::HandleConsumeAccess(Request req) {

@@ -45,6 +45,9 @@ struct RdmaFileState {
   bool replica = false;              // written by push replication
   bool aborted = false;
   uint32_t owner_qp = 0;             // exclusive mode: the granted QP
+  /// Leader epoch at grant time: a write landing after a control-plane
+  /// leader move commits against a stale epoch and is fenced (§15).
+  int64_t granted_epoch = 0;
 
   // Shared mode: the Fig. 5 atomic word, RDMA-accessible.
   std::vector<uint8_t> atomic_word;
@@ -268,6 +271,11 @@ class KafkaDirectBroker : public kafka::Broker {
                   int64_t base_offset, uint32_t record_count) override;
   void OnHwmAdvanced(kafka::PartitionState& ps) override;
   void OnRolled(kafka::PartitionState& ps) override;
+  /// Demotion fences the zero-copy state: the produce grant is aborted
+  /// (producers get kNotLeader and re-request at the new leader) and ring
+  /// push sessions close so consumers re-subscribe (§15).
+  void OnLeadershipChanged(kafka::PartitionState& ps,
+                           bool is_leader) override;
 
  private:
   // --- RDMA network module ---

@@ -53,9 +53,19 @@ sim::Co<Status> MuxProducer::Connect(KafkaDirectBroker* leader,
   if (!ctrl_or.ok()) co_return ctrl_or.status();
   ctrl_ = ctrl_or.value();
   KD_CO_RETURN_IF_ERROR(co_await EstablishTransport());
-  KD_CO_RETURN_IF_ERROR(co_await RequestAccess(0));
+  KD_CO_RETURN_IF_ERROR(co_await RequestAccess(tp, 0));
   disconnected_ = false;
   co_return Status::OK();
+}
+
+sim::Co<Status> MuxProducer::AddPartition(const kafka::TopicPartitionId& tp) {
+  if (closed_) co_return Status::Disconnected("endpoint closed");
+  if (ctrl_ == nullptr) {
+    co_return Status::FailedPrecondition("AddPartition before Connect");
+  }
+  if (grants_.find(tp) != grants_.end()) co_return Status::OK();
+  // Same transport QP, same control channel — only the grant is new.
+  co_return co_await RequestAccess(tp, 0);
 }
 
 sim::Co<Status> MuxProducer::EstablishTransport() {
@@ -85,15 +95,18 @@ sim::Co<Status> MuxProducer::EstablishTransport() {
   co_return Status::OK();
 }
 
-sim::Co<Status> MuxProducer::RequestAccess(uint16_t stale_file_id,
+sim::Co<Status> MuxProducer::RequestAccess(const kafka::TopicPartitionId& tp,
+                                           uint16_t stale_file_id,
                                            uint64_t rotate_target) {
   co_await ctrl_mu_->Lock();
-  if (stale_file_id != 0 && stale_file_id != file_id_) {
+  auto git = grants_.find(tp);
+  if (stale_file_id != 0 &&
+      (git == grants_.end() || stale_file_id != git->second.file_id)) {
     ctrl_mu_->Unlock();
     co_return Status::OK();  // a concurrent request already rotated
   }
   kafka::RdmaProduceAccessRequest req;
-  req.tp = tp_;
+  req.tp = tp;
   req.exclusive = true;  // the endpoint owns the file; streams share it
   req.stale_file_id = stale_file_id;
   req.broker_qp = broker_qp_num_;
@@ -120,11 +133,13 @@ sim::Co<Status> MuxProducer::RequestAccess(uint16_t stale_file_id,
         std::string("mux produce access denied: ") +
         ErrorCodeName(resp.error));
   }
-  file_id_ = resp.file_id;
-  file_addr_ = resp.addr;
-  file_rkey_ = resp.rkey;
-  file_capacity_ = resp.capacity;
-  write_pos_ = resp.write_pos;
+  FileGrant& g = grants_[tp];  // inserted only on success
+  g.tp = tp;
+  g.file_id = resp.file_id;
+  g.addr = resp.addr;
+  g.rkey = resp.rkey;
+  g.capacity = resp.capacity;
+  g.write_pos = resp.write_pos;
   ctrl_mu_->Unlock();
   co_return Status::OK();
 }
@@ -173,7 +188,16 @@ sim::Co<StatusOr<MuxOpenResult>> MuxProducer::SendOpen(uint32_t base,
 
 sim::Co<StatusOr<MuxOpenResult>> MuxProducer::OpenStreams(uint32_t base,
                                                           uint32_t count) {
+  co_return co_await OpenStreams(base, count, tp_);
+}
+
+sim::Co<StatusOr<MuxOpenResult>> MuxProducer::OpenStreams(
+    uint32_t base, uint32_t count, const kafka::TopicPartitionId& tp) {
   if (closed_) co_return Status::Disconnected("endpoint closed");
+  if (grants_.find(tp) == grants_.end()) {
+    co_return Status::FailedPrecondition(
+        "no produce grant for partition (AddPartition first)");
+  }
   if (disconnected_) KD_CO_RETURN_IF_ERROR(co_await Reconnect());
   auto res_or = co_await SendOpen(base, count);
   if (!res_or.ok()) co_return res_or.status();
@@ -181,6 +205,7 @@ sim::Co<StatusOr<MuxOpenResult>> MuxProducer::OpenStreams(uint32_t base,
   for (uint32_t i = 0; i < res.admitted; i++) {
     StreamState& st = streams_[base + i];
     st.id = base + i;
+    st.tp = tp;
     st.credits = std::make_unique<sim::Semaphore>(
         sim_, std::max<uint32_t>(1, res.credits));
     if (count == 1) st.acked = res.committed;
@@ -224,17 +249,29 @@ sim::Co<Status> MuxProducer::PostRecord(StreamState* st,
     post_mu_->Unlock();
     co_return Status::OK();
   }
-  if (p->batch.size() > file_capacity_ - write_pos_) {
+  auto git = grants_.find(st->tp);
+  if (git == grants_.end()) {
+    post_mu_->Unlock();
+    co_return Status::FailedPrecondition("no grant for stream partition");
+  }
+  if (p->batch.size() > git->second.capacity - git->second.write_pos) {
     // Head file full: rotate via the control channel (§4.2.2); in-flight
-    // pipelined writes end at write_pos_.
-    Status rot = co_await RequestAccess(file_id_, write_pos_);
+    // pipelined writes end at the grant's write_pos.
+    Status rot = co_await RequestAccess(st->tp, git->second.file_id,
+                                        git->second.write_pos);
     if (!rot.ok()) {
       post_mu_->Unlock();
       co_return rot;
     }
+    git = grants_.find(st->tp);
+    if (git == grants_.end()) {
+      post_mu_->Unlock();
+      co_return Status::FailedPrecondition("grant lost during rotation");
+    }
   }
-  uint64_t pos = write_pos_;
-  write_pos_ += p->batch.size();
+  FileGrant& grant = git->second;
+  uint64_t pos = grant.write_pos;
+  grant.write_pos += p->batch.size();
   // Data write: plain unsignaled Write. The stream id does not fit in the
   // 32-bit immediate, so mux produce always uses the Write + Send shape;
   // RC ordering delivers the notify after the data has landed.
@@ -244,11 +281,11 @@ sim::Co<Status> MuxProducer::PostRecord(StreamState* st,
   wr.signaled = false;
   wr.local_addr = p->batch.data();
   wr.length = static_cast<uint32_t>(p->batch.size());
-  wr.remote_addr = file_addr_ + pos;
-  wr.rkey = file_rkey_;
+  wr.remote_addr = grant.addr + pos;
+  wr.rkey = grant.rkey;
   CtrlMsg msg;
   msg.kind = CtrlKind::kProduceNotify;
-  msg.aux = file_id_;
+  msg.aux = grant.file_id;
   msg.value = static_cast<int64_t>(p->batch.size());
   msg.stream = st->id;
   p->notify.resize(kCtrlMsgSize);
@@ -465,7 +502,15 @@ sim::Co<Status> MuxProducer::Reconnect() {
     if (recv_cq_ != nullptr) recv_cq_->Shutdown();
     const uint64_t epoch = transport_failures_;
     st = co_await EstablishTransport();
-    if (st.ok()) st = co_await RequestAccess(0);
+    if (st.ok()) {
+      // Fresh exclusive grant for every produced-to partition.
+      std::vector<kafka::TopicPartitionId> tps;
+      for (auto& [tp, grant] : grants_) tps.push_back(tp);
+      for (const auto& tp : tps) {
+        st = co_await RequestAccess(tp, 0);
+        if (!st.ok()) break;
+      }
+    }
     if (closed_ || !*alive_) {
       reconnect_mu_->Unlock();
       co_return Status::Disconnected("endpoint closed");

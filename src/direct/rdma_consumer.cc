@@ -58,6 +58,29 @@ sim::Co<Status> RdmaConsumer::SubscribeImpl(kafka::TopicPartitionId tp,
                                    /*unregister_current=*/false);
 }
 
+sim::Co<Status> RdmaConsumer::ResubscribeImpl(KafkaDirectBroker* leader,
+                                              kafka::TopicPartitionId tp,
+                                              int64_t offset) {
+  subs_.erase(tp);
+  if (leader != leader_) {
+    // Leader moved: the old transport (QP, control channel, slot region,
+    // one-sided commit targets) is useless against the new broker. Tear
+    // everything down and rebuild; any other subscriptions must be
+    // re-granted by their owners the same way.
+    Close();
+    qp_ = nullptr;
+    cq_ = nullptr;
+    ctrl_ = nullptr;
+    slot_region_addr_ = 0;
+    slot_rkey_ = 0;
+    subs_.clear();
+    commit_targets_.clear();
+    Status cs = co_await Connect(leader);
+    if (!cs.ok()) co_return cs;
+  }
+  co_return co_await SubscribeImpl(tp, offset);
+}
+
 sim::Co<Status> RdmaConsumer::RequestRingAccess(Subscription* sub,
                                                 int64_t offset) {
   sub->ring = true;

@@ -60,6 +60,18 @@ class RdmaConsumer {
     return SubscribeImpl(tp, offset);
   }
 
+  /// Re-grant after a leader move (§15): drops the `tp` subscription,
+  /// rebuilds the whole transport when `leader` differs from the connected
+  /// broker (fresh QP + control channel; every other subscription and
+  /// commit target dies with the old one), and re-subscribes at `offset` —
+  /// typically the group's RDMA-committed offset, so delivery resumes
+  /// exactly-once.
+  sim::Co<Status> Resubscribe(KafkaDirectBroker* leader,
+                              const kafka::TopicPartitionId& tp,
+                              int64_t offset) {
+    return ResubscribeImpl(leader, tp, offset);
+  }
+
   /// Returns the next available complete records from `tp`, or an empty
   /// vector if none are available. Never contacts the broker CPU unless a
   /// file boundary is crossed.
@@ -121,6 +133,8 @@ class RdmaConsumer {
   };
 
   sim::Co<Status> SubscribeImpl(kafka::TopicPartitionId tp, int64_t offset);
+  sim::Co<Status> ResubscribeImpl(KafkaDirectBroker* leader,
+                                  kafka::TopicPartitionId tp, int64_t offset);
   sim::Co<Status> EnableRdmaCommitImpl(kafka::TopicPartitionId tp,
                                        std::string group);
   sim::Co<Status> CommitOffsetRdmaImpl(kafka::TopicPartitionId tp,

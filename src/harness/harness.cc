@@ -112,6 +112,7 @@ TestCluster::TestCluster(DeploymentConfig config)
                                                        broker_config);
       });
   KD_CHECK_OK(cluster_->Start());
+  cluster_->StartControlPlane();  // no-op unless broker.control_plane
   for (int b = 0; b < config.num_brokers; b++) {
     auto listener = std::make_shared<osu::OsuListener>(sim());
     osu_listeners_.push_back(listener);

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "kafka/controller.h"
 #include "kafka/record.h"
 
 namespace kafkadirect {
@@ -53,6 +54,8 @@ Broker::Broker(sim::Simulator& sim, net::Fabric& fabric, tcpnet::Network& tcp,
   }
 }
 
+Broker::~Broker() = default;
+
 Status Broker::Start() {
   if (started_) return Status::FailedPrecondition("broker already started");
   started_ = true;
@@ -72,11 +75,19 @@ PartitionState* Broker::AddPartition(const TopicPartitionId& tp,
   ps->leader_id = leader_id;
   ps->is_leader = (leader_id == config_.id);
   ps->replicas = std::move(replicas);
+  ps->isr = ps->replicas;  // every replica starts in sync (empty log)
   for (int32_t r : ps->replicas) {
     if (r != config_.id) ps->follower_leo[r] = 0;
   }
+  if (config_.control_plane) {
+    ps->leader_gauge = fabric_.obs().metrics.GetGauge(
+        "kd.broker." + std::to_string(config_.id) + ".leader." +
+        tp.ToString());
+    ps->leader_gauge->Set(ps->is_leader ? 1 : 0);
+  }
   PartitionState* raw = ps.get();
   partitions_[tp] = std::move(ps);
+  if (cp_ != nullptr) cp_->SeedAssignment(tp, *raw);
   return raw;
 }
 
@@ -93,6 +104,16 @@ void Broker::ServeListener(std::shared_ptr<net::StreamListener> listener) {
 void Broker::Shutdown() {
   if (!started_ || shut_down_) return;
   shut_down_ = true;
+  // Control plane first: stops heartbeat/watchdog loops, drops peer
+  // connections and drops any leadership this broker held (a dead broker
+  // must not count toward cluster.single_leader_per_partition).
+  if (cp_ != nullptr) cp_->Stop();
+  if (config_.control_plane) {
+    for (auto& [tp, ps] : partitions_) {
+      ps->is_leader = false;
+      if (ps->leader_gauge != nullptr) ps->leader_gauge->Set(0);
+    }
+  }
   // Stop accepting: AcceptLoop's pending Accept resolves with an error and
   // the loop finishes.
   if (listener_ != nullptr) listener_->Shutdown();
@@ -104,6 +125,12 @@ void Broker::Shutdown() {
     if (auto conn = weak.lock()) conn->Close();
   }
   accepted_conns_.clear();
+  // Wake purgatory waiters (RespondWhenCommitted, fetch long-poll): they
+  // check shut_down_ and unwind instead of leaking parked frames.
+  for (auto& [tp, ps] : partitions_) {
+    ps->hwm_advanced.Pulse();
+    ps->leo_advanced.Pulse();
+  }
   // Wake parked API workers with nullopt.
   requests_.Close();
 }
@@ -210,6 +237,17 @@ sim::Co<void> Broker::ApiWorkerLoop(int worker_index) {
       case MsgType::kFetchCommittedOffsetRequest:
         tracer_->Begin(wt, "api.offset_fetch");
         co_await HandleFetchCommittedOffset(std::move(*req));
+        tracer_->End(wt);
+        break;
+      case MsgType::kControllerHeartbeatRequest:
+      case MsgType::kLeaderAndIsrRequest:
+      case MsgType::kLogInfoRequest:
+      case MsgType::kJoinGroupRequest:
+      case MsgType::kSyncGroupRequest:
+      case MsgType::kGroupHeartbeatRequest:
+      case MsgType::kLeaveGroupRequest:
+        tracer_->Begin(wt, "api.control_plane");
+        co_await HandleControlPlaneRequest(std::move(*req));
         tracer_->End(wt);
         break;
       default:
@@ -341,6 +379,9 @@ void Broker::AdvanceHwm(PartitionState* ps) {
   if (!ps->is_leader) return;
   int64_t hwm = ps->log.log_end_offset();
   for (const auto& [replica, leo] : ps->follower_leo) {
+    // Control plane: only in-sync replicas gate the HWM — a dead or
+    // lagging follower shrunk out of the ISR must not stall commits.
+    if (config_.control_plane && !ps->InIsr(replica)) continue;
     hwm = std::min(hwm, leo);
   }
   if (hwm > ps->log.high_watermark()) {
@@ -363,6 +404,7 @@ sim::Co<void> Broker::RespondWhenCommitted(net::MessageStreamPtr conn,
                                            int64_t base_offset) {
   while (ps->log.high_watermark() < required_offset) {
     bool fired = co_await ps->hwm_advanced.WaitFor(30ll * 1000 * 1000 * 1000);
+    if (shut_down_) co_return;  // dead broker: the conn is closed anyway
     if (!fired && ps->log.high_watermark() < required_offset) {
       SendResponse(conn, Encode(ProduceResponse{ErrorCode::kTimedOut, -1}));
       co_return;
@@ -392,6 +434,12 @@ sim::Co<void> Broker::HandleFetch(Request req) {
     co_return;
   }
   if (freq.is_replica) {
+    // Freshness stamp for ISR expansion: only followers actually fetching
+    // may re-enter the ISR (a dead follower's lag can read as zero on an
+    // idle partition).
+    if (config_.control_plane) {
+      ps->follower_seen[freq.replica_id] = sim_.Now();
+    }
     // The fetch offset doubles as the follower's log end offset.
     auto it = ps->follower_leo.find(freq.replica_id);
     if (it != ps->follower_leo.end() && freq.offset > it->second) {
@@ -457,6 +505,7 @@ sim::Co<void> Broker::ParkedFetch(net::MessageStreamPtr conn,
     if (remaining <= 0) break;  // expire with an (empty) response
     sim::Event& ev = freq.is_replica ? ps->leo_advanced : ps->hwm_advanced;
     (void)co_await ev.WaitFor(remaining);
+    if (shut_down_) co_return;  // dead broker: the conn is closed anyway
   }
   // Completing a parked fetch: the purgatory thread wakes and hands the
   // work back to the request pipeline.
@@ -492,10 +541,35 @@ sim::Co<void> Broker::HandleCommitOffset(Request req) {
     if (ps == nullptr) {
       resp.error = ErrorCode::kUnknownTopicOrPartition;
     } else {
-      ps->committed_offsets[creq.group] = creq.offset;
+      co_await StoreCommittedOffset(ps, creq);
     }
   }
   SendResponse(req.conn, Encode(resp));
+  co_return;
+}
+
+sim::Co<void> Broker::StoreCommittedOffset(PartitionState* ps,
+                                           const CommitOffsetRequest& creq) {
+  ps->committed_offsets[creq.group] = creq.offset;
+  if (!config_.control_plane) co_return;
+  // Cluster-wide per-(group, partition) gauge; Set() only, so a rebalanced
+  // consumer committing below a previous generation trips the
+  // group.offsets_monotonic_across_generations watcher.
+  fabric_.obs()
+      .metrics.GetGauge("kd.group." + creq.group + "." + creq.tp.ToString() +
+                        ".committed.offset")
+      ->Set(creq.offset);
+  // Leaders forward the commit to every ISR follower before acking, so the
+  // offset survives a leader kill and a rebalanced consumer can resume
+  // exactly-once from the surviving replica.
+  if (config_.cp_replicate_commits && ps->is_leader && cp_ != nullptr) {
+    std::vector<uint8_t> frame = Encode(creq);
+    for (int32_t r : ps->isr) {
+      if (r == config_.id) continue;
+      (void)co_await cp_->PeerRpc(r, frame);  // best effort: dead follower
+                                              // is on its way out of the ISR
+    }
+  }
   co_return;
 }
 
@@ -529,6 +603,110 @@ void Broker::OnAppended(PartitionState&, uint64_t, uint64_t, int64_t,
                         uint32_t) {}
 void Broker::OnHwmAdvanced(PartitionState&) {}
 void Broker::OnRolled(PartitionState&) {}
+void Broker::OnLeadershipChanged(PartitionState&, bool) {}
+
+void Broker::StartControlPlane(std::vector<ControlPlanePeer> peers) {
+  if (!config_.control_plane || cp_ != nullptr || !started_ || shut_down_) {
+    return;
+  }
+  cp_ = std::make_unique<ControlPlane>(*this, std::move(peers));
+  cp_->Start();
+}
+
+int32_t Broker::MetadataLeaderOf(const TopicPartitionId& tp) const {
+  auto it = topic_metadata_.find(tp.topic);
+  if (it == topic_metadata_.end()) return -1;
+  if (tp.partition < 0 ||
+      tp.partition >= static_cast<int32_t>(it->second.size())) {
+    return -1;
+  }
+  return it->second[tp.partition];
+}
+
+void Broker::ApplyLeaderAndIsr(const LeaderAndIsrRequest& req) {
+  // Mirror into client-facing metadata so MetadataRequest (and the
+  // cluster's dynamic leader lookup) see the move even on brokers not
+  // hosting the partition.
+  auto mit = topic_metadata_.find(req.tp.topic);
+  if (mit != topic_metadata_.end() && req.tp.partition >= 0 &&
+      req.tp.partition < static_cast<int32_t>(mit->second.size())) {
+    mit->second[req.tp.partition] = req.leader_id;
+  }
+  PartitionState* ps = GetPartition(req.tp);
+  if (ps == nullptr) return;
+  if (req.leader_epoch < ps->leader_epoch) return;  // fenced: stale install
+  const bool was_leader = ps->is_leader;
+  const int32_t old_leader = ps->leader_id;
+  const bool now_leader = (req.leader_id == config_.id);
+  ps->leader_epoch = req.leader_epoch;
+  ps->leader_id = req.leader_id;
+  ps->isr = req.isr;
+  if (!req.replicas.empty()) ps->replicas = req.replicas;
+  ps->is_leader = now_leader;
+  if (ps->leader_gauge != nullptr) ps->leader_gauge->Set(now_leader ? 1 : 0);
+  if (now_leader) {
+    // The ISR changed (or we were just promoted): recompute what counts
+    // as committed. Promotion keeps follower progress conservative — the
+    // new ISR reports in through replica fetches.
+    AdvanceHwm(ps);
+    if (!was_leader) OnLeadershipChanged(*ps, true);
+  } else {
+    if (was_leader) OnLeadershipChanged(*ps, false);
+    // Follow the new leader: the fetcher toward the dead one exits on its
+    // broken connection. Only spawn when leadership actually moved, so an
+    // ISR-only update never doubles the fetcher.
+    if (!shut_down_ && req.leader_id >= 0 && old_leader != req.leader_id &&
+        req.leader_node != 0) {
+      StartReplicaFetcher(req.tp,
+                          static_cast<net::NodeId>(req.leader_node));
+    }
+  }
+}
+
+sim::Co<void> Broker::HandleControlPlaneRequest(Request req) {
+  if (cp_ != nullptr) {
+    co_await cp_->Handle(std::move(req));
+    co_return;
+  }
+  // Control plane off: answer with the matching error response so a
+  // misdirected client fails fast instead of hanging.
+  switch (PeekType(Slice(req.frame))) {
+    case MsgType::kControllerHeartbeatRequest:
+      SendResponse(req.conn, Encode(ControllerHeartbeatResponse{
+                                 ErrorCode::kInvalidRequest, 0}));
+      break;
+    case MsgType::kLeaderAndIsrRequest:
+      SendResponse(req.conn,
+                   Encode(LeaderAndIsrResponse{ErrorCode::kInvalidRequest}));
+      break;
+    case MsgType::kLogInfoRequest:
+      SendResponse(req.conn,
+                   Encode(LogInfoResponse{ErrorCode::kInvalidRequest, -1,
+                                          -1}));
+      break;
+    case MsgType::kJoinGroupRequest:
+      SendResponse(req.conn,
+                   Encode(JoinGroupResponse{ErrorCode::kNotController, 0}));
+      break;
+    case MsgType::kSyncGroupRequest: {
+      SyncGroupResponse resp;
+      resp.error = ErrorCode::kNotController;
+      SendResponse(req.conn, Encode(resp));
+      break;
+    }
+    case MsgType::kGroupHeartbeatRequest:
+      SendResponse(req.conn, Encode(GroupHeartbeatResponse{
+                                 ErrorCode::kNotController}));
+      break;
+    case MsgType::kLeaveGroupRequest:
+      SendResponse(req.conn,
+                   Encode(LeaveGroupResponse{ErrorCode::kNotController}));
+      break;
+    default:
+      break;
+  }
+  co_return;
+}
 
 void Broker::StartPushReplication(const TopicPartitionId&,
                                   const std::vector<Broker*>&) {

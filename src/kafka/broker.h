@@ -145,6 +145,35 @@ struct BrokerConfig {
   /// deliberately pushing credits_outstanding past the RNR-proof cap so the
   /// live monitor's direct.credit_window watcher fires mid-run. 0 = off.
   uint32_t fault_credit_overgrant = 0;
+
+  // --- Cluster control plane (DESIGN.md §15). All default off so the
+  // paper figures and golden traces stay byte-identical. ---
+
+  /// Run the controller/coordinator protocol: sim-clock term/heartbeat
+  /// controller election, broker-death detection, ISR-elected partition
+  /// leader failover, ISR shrink/expand under lag, and the consumer-group
+  /// coordinator (join/sync/heartbeat/rebalance generations).
+  bool control_plane = false;
+  /// Controller -> broker liveness probe period (also the watchdog tick).
+  sim::TimeNs cp_heartbeat_interval_ns = 2 * 1000 * 1000;  // 2 ms
+  /// Consecutive missed heartbeats before a broker is declared dead.
+  int cp_miss_limit = 3;
+  /// Per-rank delay added to the controller-takeover timeout, so exactly
+  /// one surviving broker claims the next term (lowest id first).
+  sim::TimeNs cp_election_stagger_ns = 4 * 1000 * 1000;  // 2 heartbeats
+  /// ISR lag management: a follower more than this many records behind the
+  /// leader LEO is shrunk out of the ISR; it rejoins once its lag drops
+  /// back under half the threshold and it has fetched recently.
+  int64_t cp_isr_max_lag_records = 512;
+  sim::TimeNs cp_isr_check_interval_ns = 4 * 1000 * 1000;
+  /// Group member expiry: no heartbeat for this long => expelled.
+  sim::TimeNs cp_session_timeout_ns = 20 * 1000 * 1000;  // 20 ms
+  /// Join-window quiesce: a rebalance generation forms once no new join
+  /// has arrived for this long (storms coalesce into one generation).
+  sim::TimeNs cp_rebalance_delay_ns = 1 * 1000 * 1000;  // 1 ms
+  /// Leaders forward TCP offset commits to ISR followers before acking,
+  /// so committed offsets survive a leader kill.
+  bool cp_replicate_commits = true;
 };
 
 /// Broker-side runtime counters, used by benches for CPU-load and
@@ -159,6 +188,13 @@ struct BrokerStats {
 };
 
 class Broker;
+class ControlPlane;
+
+/// One broker's identity as seen by the control plane (id + fabric node).
+struct ControlPlanePeer {
+  int32_t id = -1;
+  uint64_t node = 0;  // net::NodeId
+};
 
 /// Per-partition extension state owned by subclasses (KafkaDirect modules).
 struct PartitionExt {
@@ -183,6 +219,21 @@ struct PartitionState {
   sim::Event hwm_advanced;                    // pulses on HWM advance
   std::map<std::string, int64_t> committed_offsets;  // consumer groups
   std::unique_ptr<PartitionExt> ext;          // KafkaDirect module state
+
+  // --- control plane (DESIGN.md §15); inert unless config.control_plane ---
+  std::vector<int32_t> isr;                   // in-sync replicas, incl leader
+  int64_t leader_epoch = 0;                   // bumped on every leader move
+  /// Last replica-fetch arrival per follower (ISR expansion freshness).
+  std::map<int32_t, sim::TimeNs> follower_seen;
+  /// 0/1 leadership gauge feeding cluster.single_leader_per_partition.
+  obs::Gauge* leader_gauge = nullptr;
+
+  bool InIsr(int32_t broker_id) const {
+    for (int32_t r : isr) {
+      if (r == broker_id) return true;
+    }
+    return false;
+  }
 };
 
 class Broker {
@@ -204,7 +255,7 @@ class Broker {
 
   Broker(sim::Simulator& sim, net::Fabric& fabric, tcpnet::Network& tcp,
          BrokerConfig config);
-  virtual ~Broker() = default;
+  virtual ~Broker();  // out of line: ControlPlane is incomplete here
 
   /// Binds the TCP listener and spawns network processors + API workers.
   virtual Status Start();
@@ -235,6 +286,22 @@ class Broker {
   /// Installs topic metadata served to clients.
   void SetTopicMetadata(const std::string& topic,
                         std::vector<int32_t> leaders);
+
+  /// Spins up the control plane (controller election, failover, group
+  /// coordination) once the cluster knows every peer. No-op unless
+  /// config.control_plane.
+  void StartControlPlane(std::vector<ControlPlanePeer> peers);
+  ControlPlane* control_plane() { return cp_.get(); }
+
+  /// Installs a leadership/ISR decision (from the controller broadcast, a
+  /// leader's ISR report, or a test). Promotes/demotes the local replica,
+  /// fences by leader epoch, starts the pull fetcher toward a new leader,
+  /// and fires OnLeadershipChanged on transitions.
+  void ApplyLeaderAndIsr(const LeaderAndIsrRequest& req);
+
+  /// Client-facing leader id for a partition (-1 if unknown); reflects
+  /// controller broadcasts, so it is the dynamic post-failover view.
+  int32_t MetadataLeaderOf(const TopicPartitionId& tp) const;
 
   /// Serves connections arriving on an extra listener (the OSU-Kafka
   /// two-sided RDMA transport plugs in here).
@@ -279,6 +346,12 @@ class Broker {
   /// Called when the head file of the partition is sealed and rolled.
   virtual void OnRolled(PartitionState& ps);
 
+  /// Called when this broker gains or loses leadership of a partition
+  /// (control-plane failover). Losing leadership must fence in-flight
+  /// zero-copy state — the KafkaDirect broker aborts the produce grant and
+  /// closes ring push sessions here.
+  virtual void OnLeadershipChanged(PartitionState& ps, bool is_leader);
+
   // --- shared machinery available to subclasses ---
 
   /// Appends a validated batch (assigning offsets) under the partition
@@ -314,6 +387,13 @@ class Broker {
   sim::Co<void> HandleMetadata(Request req);
   virtual sim::Co<void> HandleCommitOffset(Request req);
   virtual sim::Co<void> HandleFetchCommittedOffset(Request req);
+  /// Routes controller/group RPCs into the ControlPlane (error response
+  /// when the control plane is off).
+  sim::Co<void> HandleControlPlaneRequest(Request req);
+  /// Stores a committed offset and, when the control plane replicates
+  /// commits, forwards it to every ISR follower before returning.
+  sim::Co<void> StoreCommittedOffset(PartitionState* ps,
+                                     const CommitOffsetRequest& creq);
 
   /// Builds and sends a fetch response for a request whose data is ready.
   sim::Co<void> CompleteFetch(net::MessageStreamPtr conn, FetchRequest freq,
@@ -389,6 +469,12 @@ class Broker {
   /// before each handler co_await and captured by the handler's first
   /// statement (coroutine bodies start synchronously on await).
   obs::TrackId dispatch_track_ = 0;
+
+  /// Control plane (DESIGN.md §15); null unless config.control_plane and
+  /// StartControlPlane() ran.
+  std::unique_ptr<ControlPlane> cp_;
+  friend class ControlPlane;
+  friend class GroupCoordinator;
 };
 
 }  // namespace kafka

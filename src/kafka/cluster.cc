@@ -1,5 +1,6 @@
 #include "kafka/cluster.h"
 
+#include "kafka/controller.h"
 #include "sim/sharded.h"
 
 namespace kafkadirect {
@@ -31,7 +32,40 @@ Status Cluster::Start() {
     fabric_.BindNodeShard(broker->node(), shard);
     brokers_.push_back(std::move(broker));
   }
+  killed_.assign(brokers_.size(), false);
   return Status::OK();
+}
+
+void Cluster::StartControlPlane() {
+  if (!broker_template_.control_plane) return;
+  std::vector<ControlPlanePeer> peers;
+  for (auto& broker : brokers_) {
+    peers.push_back({broker->id(), broker->node()});
+  }
+  for (auto& broker : brokers_) {
+    broker->StartControlPlane(peers);
+  }
+}
+
+void Cluster::KillBroker(int32_t id) {
+  if (id < 0 || id >= static_cast<int32_t>(brokers_.size())) return;
+  if (killed_[id]) return;
+  killed_[id] = true;
+  brokers_[id]->Shutdown();
+}
+
+bool Cluster::IsBrokerAlive(int32_t id) const {
+  return id >= 0 && id < static_cast<int32_t>(brokers_.size()) &&
+         !killed_[id];
+}
+
+Broker* Cluster::ControllerBroker() {
+  for (size_t i = 0; i < brokers_.size(); i++) {
+    if (killed_[i]) continue;
+    ControlPlane* cp = brokers_[i]->control_plane();
+    if (cp != nullptr && cp->is_controller()) return brokers_[i].get();
+  }
+  return nullptr;
 }
 
 void Cluster::Shutdown() {
@@ -83,6 +117,25 @@ Status Cluster::CreateTopic(const std::string& topic, int partitions,
 }
 
 Broker* Cluster::LeaderOf(const TopicPartitionId& tp) {
+  if (broker_template_.control_plane) {
+    // Dynamic view: prefer the controller's assignment map, falling back
+    // to any alive broker's mirrored metadata while an election converges.
+    Broker* source = ControllerBroker();
+    if (source == nullptr) {
+      for (size_t i = 0; i < brokers_.size(); i++) {
+        if (!killed_[i]) {
+          source = brokers_[i].get();
+          break;
+        }
+      }
+    }
+    if (source != nullptr) {
+      int32_t leader = source->MetadataLeaderOf(tp);
+      if (leader >= 0 && IsBrokerAlive(leader)) {
+        return brokers_[leader].get();
+      }
+    }
+  }
   auto it = topic_leaders_.find(tp.topic);
   if (it == topic_leaders_.end()) return nullptr;
   if (tp.partition < 0 ||

@@ -46,10 +46,27 @@ class Cluster {
   Status CreateTopic(const std::string& topic, int partitions,
                      int replication_factor);
 
+  /// Starts the control plane on every broker (controller election,
+  /// failover, group coordination). Call after Start() and topic creation
+  /// so each broker's assignment map seeds from its hosted partitions.
+  /// No-op unless the broker template enables control_plane.
+  void StartControlPlane();
+
+  /// Crash-stops one broker (listener closed, control plane halted, all
+  /// in-flight state dropped) — the failure the controller must detect.
+  void KillBroker(int32_t id);
+  bool IsBrokerAlive(int32_t id) const;
+
+  /// The broker currently claiming the controller role (nullptr while the
+  /// election is still converging). Only meaningful with control_plane.
+  Broker* ControllerBroker();
+
   Broker* broker(int id) { return brokers_[id].get(); }
   int num_brokers() const { return num_brokers_; }
 
   /// Leader broker of a partition (topics created through this cluster).
+  /// With the control plane on this is the dynamic post-failover view
+  /// (controller's assignment map); otherwise the static creation-time map.
   Broker* LeaderOf(const TopicPartitionId& tp);
   net::NodeId LeaderNodeOf(const TopicPartitionId& tp) {
     return LeaderOf(tp)->node();
@@ -67,6 +84,7 @@ class Cluster {
   int num_brokers_;
   BrokerFactory factory_;
   std::vector<std::unique_ptr<Broker>> brokers_;
+  std::vector<bool> killed_;
   std::map<std::string, std::vector<int32_t>> topic_leaders_;
 };
 

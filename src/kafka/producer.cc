@@ -69,7 +69,20 @@ sim::Co<void> TcpProducer::AckReader(std::shared_ptr<bool> alive,
                                      net::MessageStreamPtr conn) {
   while (*alive) {
     auto frame = co_await conn->Recv();
-    if (!*alive || !frame.ok()) co_return;
+    if (!*alive) co_return;
+    if (!frame.ok()) {
+      // Broken connection (broker died or Close()): every in-flight
+      // produce gets a timed-out response instead of waiting forever.
+      while (!pending_.empty()) {
+        auto pending = pending_.front();
+        pending_.pop_front();
+        errors_++;
+        pending->response.error = ErrorCode::kTimedOut;
+        window_.Release();
+        pending->done->Set();
+      }
+      co_return;
+    }
     ProduceResponse resp;
     Status decode_st = Decode(Slice(frame.value()), &resp);
     pool_.Release(std::move(frame).value());

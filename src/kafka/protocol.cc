@@ -41,7 +41,7 @@ Status GetError(BinaryReader* r, ErrorCode* e) {
 void AssignBytes(Slice b, std::vector<uint8_t>* out, BufferPool* pool) {
   if (pool != nullptr) {
     *out = pool->Acquire(b.size());
-    std::memcpy(out->data(), b.data(), b.size());
+    if (!b.empty()) std::memcpy(out->data(), b.data(), b.size());
   } else {
     *out = b.ToVector();
   }
@@ -61,6 +61,11 @@ const char* ErrorCodeName(ErrorCode code) {
     case ErrorCode::kInvalidRequest: return "InvalidRequest";
     case ErrorCode::kTimedOut: return "TimedOut";
     case ErrorCode::kResourceExhausted: return "ResourceExhausted";
+    case ErrorCode::kNotController: return "NotController";
+    case ErrorCode::kRebalanceInProgress: return "RebalanceInProgress";
+    case ErrorCode::kUnknownMember: return "UnknownMember";
+    case ErrorCode::kIllegalGeneration: return "IllegalGeneration";
+    case ErrorCode::kFencedLeaderEpoch: return "FencedLeaderEpoch";
   }
   return "?";
 }
@@ -545,6 +550,265 @@ Status Decode(Slice frame, FetchCommittedOffsetResponse* m) {
   KD_RETURN_IF_ERROR(GetHeader(&r, MsgType::kFetchCommittedOffsetResponse));
   KD_RETURN_IF_ERROR(GetError(&r, &m->error));
   KD_RETURN_IF_ERROR(r.GetI64(&m->offset));
+  return Status::OK();
+}
+
+namespace {
+
+void PutI32Vec(BinaryWriter* w, const std::vector<int32_t>& v) {
+  w->PutU32(static_cast<uint32_t>(v.size()));
+  for (int32_t x : v) w->PutI32(x);
+}
+
+Status GetI32Vec(BinaryReader* r, std::vector<int32_t>* v) {
+  uint32_t n;
+  KD_RETURN_IF_ERROR(r->GetU32(&n));
+  v->resize(n);
+  for (uint32_t i = 0; i < n; i++) {
+    KD_RETURN_IF_ERROR(r->GetI32(&(*v)[i]));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::vector<uint8_t> Encode(const ControllerHeartbeatRequest& m) {
+  BinaryWriter w;
+  PutHeader(&w, MsgType::kControllerHeartbeatRequest);
+  w.PutI64(m.term);
+  w.PutI32(m.controller_id);
+  return w.Release();
+}
+
+Status Decode(Slice frame, ControllerHeartbeatRequest* m) {
+  BinaryReader r(frame);
+  KD_RETURN_IF_ERROR(GetHeader(&r, MsgType::kControllerHeartbeatRequest));
+  KD_RETURN_IF_ERROR(r.GetI64(&m->term));
+  KD_RETURN_IF_ERROR(r.GetI32(&m->controller_id));
+  return Status::OK();
+}
+
+std::vector<uint8_t> Encode(const ControllerHeartbeatResponse& m) {
+  BinaryWriter w;
+  PutHeader(&w, MsgType::kControllerHeartbeatResponse);
+  w.PutU16(static_cast<uint16_t>(m.error));
+  w.PutI64(m.term);
+  return w.Release();
+}
+
+Status Decode(Slice frame, ControllerHeartbeatResponse* m) {
+  BinaryReader r(frame);
+  KD_RETURN_IF_ERROR(GetHeader(&r, MsgType::kControllerHeartbeatResponse));
+  KD_RETURN_IF_ERROR(GetError(&r, &m->error));
+  KD_RETURN_IF_ERROR(r.GetI64(&m->term));
+  return Status::OK();
+}
+
+std::vector<uint8_t> Encode(const LeaderAndIsrRequest& m) {
+  BinaryWriter w;
+  PutHeader(&w, MsgType::kLeaderAndIsrRequest);
+  PutTp(&w, m.tp);
+  w.PutI32(m.leader_id);
+  w.PutU64(m.leader_node);
+  w.PutI64(m.leader_epoch);
+  w.PutU8(m.from_controller ? 1 : 0);
+  PutI32Vec(&w, m.isr);
+  PutI32Vec(&w, m.replicas);
+  return w.Release();
+}
+
+Status Decode(Slice frame, LeaderAndIsrRequest* m) {
+  BinaryReader r(frame);
+  KD_RETURN_IF_ERROR(GetHeader(&r, MsgType::kLeaderAndIsrRequest));
+  KD_RETURN_IF_ERROR(GetTp(&r, &m->tp));
+  KD_RETURN_IF_ERROR(r.GetI32(&m->leader_id));
+  KD_RETURN_IF_ERROR(r.GetU64(&m->leader_node));
+  KD_RETURN_IF_ERROR(r.GetI64(&m->leader_epoch));
+  uint8_t fc;
+  KD_RETURN_IF_ERROR(r.GetU8(&fc));
+  m->from_controller = fc != 0;
+  KD_RETURN_IF_ERROR(GetI32Vec(&r, &m->isr));
+  KD_RETURN_IF_ERROR(GetI32Vec(&r, &m->replicas));
+  return Status::OK();
+}
+
+std::vector<uint8_t> Encode(const LeaderAndIsrResponse& m) {
+  BinaryWriter w;
+  PutHeader(&w, MsgType::kLeaderAndIsrResponse);
+  w.PutU16(static_cast<uint16_t>(m.error));
+  return w.Release();
+}
+
+Status Decode(Slice frame, LeaderAndIsrResponse* m) {
+  BinaryReader r(frame);
+  KD_RETURN_IF_ERROR(GetHeader(&r, MsgType::kLeaderAndIsrResponse));
+  KD_RETURN_IF_ERROR(GetError(&r, &m->error));
+  return Status::OK();
+}
+
+std::vector<uint8_t> Encode(const LogInfoRequest& m) {
+  BinaryWriter w;
+  PutHeader(&w, MsgType::kLogInfoRequest);
+  PutTp(&w, m.tp);
+  return w.Release();
+}
+
+Status Decode(Slice frame, LogInfoRequest* m) {
+  BinaryReader r(frame);
+  KD_RETURN_IF_ERROR(GetHeader(&r, MsgType::kLogInfoRequest));
+  KD_RETURN_IF_ERROR(GetTp(&r, &m->tp));
+  return Status::OK();
+}
+
+std::vector<uint8_t> Encode(const LogInfoResponse& m) {
+  BinaryWriter w;
+  PutHeader(&w, MsgType::kLogInfoResponse);
+  w.PutU16(static_cast<uint16_t>(m.error));
+  w.PutI64(m.log_end_offset);
+  w.PutI64(m.high_watermark);
+  return w.Release();
+}
+
+Status Decode(Slice frame, LogInfoResponse* m) {
+  BinaryReader r(frame);
+  KD_RETURN_IF_ERROR(GetHeader(&r, MsgType::kLogInfoResponse));
+  KD_RETURN_IF_ERROR(GetError(&r, &m->error));
+  KD_RETURN_IF_ERROR(r.GetI64(&m->log_end_offset));
+  KD_RETURN_IF_ERROR(r.GetI64(&m->high_watermark));
+  return Status::OK();
+}
+
+std::vector<uint8_t> Encode(const JoinGroupRequest& m) {
+  BinaryWriter w;
+  PutHeader(&w, MsgType::kJoinGroupRequest);
+  w.PutString(m.group);
+  w.PutString(m.member);
+  w.PutString(m.topic);
+  return w.Release();
+}
+
+Status Decode(Slice frame, JoinGroupRequest* m) {
+  BinaryReader r(frame);
+  KD_RETURN_IF_ERROR(GetHeader(&r, MsgType::kJoinGroupRequest));
+  KD_RETURN_IF_ERROR(r.GetString(&m->group));
+  KD_RETURN_IF_ERROR(r.GetString(&m->member));
+  KD_RETURN_IF_ERROR(r.GetString(&m->topic));
+  return Status::OK();
+}
+
+std::vector<uint8_t> Encode(const JoinGroupResponse& m) {
+  BinaryWriter w;
+  PutHeader(&w, MsgType::kJoinGroupResponse);
+  w.PutU16(static_cast<uint16_t>(m.error));
+  w.PutI64(m.generation);
+  return w.Release();
+}
+
+Status Decode(Slice frame, JoinGroupResponse* m) {
+  BinaryReader r(frame);
+  KD_RETURN_IF_ERROR(GetHeader(&r, MsgType::kJoinGroupResponse));
+  KD_RETURN_IF_ERROR(GetError(&r, &m->error));
+  KD_RETURN_IF_ERROR(r.GetI64(&m->generation));
+  return Status::OK();
+}
+
+std::vector<uint8_t> Encode(const SyncGroupRequest& m) {
+  BinaryWriter w;
+  PutHeader(&w, MsgType::kSyncGroupRequest);
+  w.PutString(m.group);
+  w.PutString(m.member);
+  w.PutI64(m.generation);
+  return w.Release();
+}
+
+Status Decode(Slice frame, SyncGroupRequest* m) {
+  BinaryReader r(frame);
+  KD_RETURN_IF_ERROR(GetHeader(&r, MsgType::kSyncGroupRequest));
+  KD_RETURN_IF_ERROR(r.GetString(&m->group));
+  KD_RETURN_IF_ERROR(r.GetString(&m->member));
+  KD_RETURN_IF_ERROR(r.GetI64(&m->generation));
+  return Status::OK();
+}
+
+std::vector<uint8_t> Encode(const SyncGroupResponse& m) {
+  BinaryWriter w;
+  PutHeader(&w, MsgType::kSyncGroupResponse);
+  w.PutU16(static_cast<uint16_t>(m.error));
+  w.PutI64(m.generation);
+  w.PutString(m.topic);
+  PutI32Vec(&w, m.partitions);
+  return w.Release();
+}
+
+Status Decode(Slice frame, SyncGroupResponse* m) {
+  BinaryReader r(frame);
+  KD_RETURN_IF_ERROR(GetHeader(&r, MsgType::kSyncGroupResponse));
+  KD_RETURN_IF_ERROR(GetError(&r, &m->error));
+  KD_RETURN_IF_ERROR(r.GetI64(&m->generation));
+  KD_RETURN_IF_ERROR(r.GetString(&m->topic));
+  KD_RETURN_IF_ERROR(GetI32Vec(&r, &m->partitions));
+  return Status::OK();
+}
+
+std::vector<uint8_t> Encode(const GroupHeartbeatRequest& m) {
+  BinaryWriter w;
+  PutHeader(&w, MsgType::kGroupHeartbeatRequest);
+  w.PutString(m.group);
+  w.PutString(m.member);
+  w.PutI64(m.generation);
+  return w.Release();
+}
+
+Status Decode(Slice frame, GroupHeartbeatRequest* m) {
+  BinaryReader r(frame);
+  KD_RETURN_IF_ERROR(GetHeader(&r, MsgType::kGroupHeartbeatRequest));
+  KD_RETURN_IF_ERROR(r.GetString(&m->group));
+  KD_RETURN_IF_ERROR(r.GetString(&m->member));
+  KD_RETURN_IF_ERROR(r.GetI64(&m->generation));
+  return Status::OK();
+}
+
+std::vector<uint8_t> Encode(const GroupHeartbeatResponse& m) {
+  BinaryWriter w;
+  PutHeader(&w, MsgType::kGroupHeartbeatResponse);
+  w.PutU16(static_cast<uint16_t>(m.error));
+  return w.Release();
+}
+
+Status Decode(Slice frame, GroupHeartbeatResponse* m) {
+  BinaryReader r(frame);
+  KD_RETURN_IF_ERROR(GetHeader(&r, MsgType::kGroupHeartbeatResponse));
+  KD_RETURN_IF_ERROR(GetError(&r, &m->error));
+  return Status::OK();
+}
+
+std::vector<uint8_t> Encode(const LeaveGroupRequest& m) {
+  BinaryWriter w;
+  PutHeader(&w, MsgType::kLeaveGroupRequest);
+  w.PutString(m.group);
+  w.PutString(m.member);
+  return w.Release();
+}
+
+Status Decode(Slice frame, LeaveGroupRequest* m) {
+  BinaryReader r(frame);
+  KD_RETURN_IF_ERROR(GetHeader(&r, MsgType::kLeaveGroupRequest));
+  KD_RETURN_IF_ERROR(r.GetString(&m->group));
+  KD_RETURN_IF_ERROR(r.GetString(&m->member));
+  return Status::OK();
+}
+
+std::vector<uint8_t> Encode(const LeaveGroupResponse& m) {
+  BinaryWriter w;
+  PutHeader(&w, MsgType::kLeaveGroupResponse);
+  w.PutU16(static_cast<uint16_t>(m.error));
+  return w.Release();
+}
+
+Status Decode(Slice frame, LeaveGroupResponse* m) {
+  BinaryReader r(frame);
+  KD_RETURN_IF_ERROR(GetHeader(&r, MsgType::kLeaveGroupResponse));
+  KD_RETURN_IF_ERROR(GetError(&r, &m->error));
   return Status::OK();
 }
 

@@ -42,6 +42,22 @@ enum class MsgType : uint16_t {
   kFetchCommittedOffsetResponse,
   kRdmaRingConsumeAccessRequest,
   kRdmaRingConsumeAccessResponse,
+  // --- cluster control plane (DESIGN.md §15); appended so every prior
+  // message keeps its wire value ---
+  kControllerHeartbeatRequest,
+  kControllerHeartbeatResponse,
+  kLeaderAndIsrRequest,
+  kLeaderAndIsrResponse,
+  kLogInfoRequest,
+  kLogInfoResponse,
+  kJoinGroupRequest,
+  kJoinGroupResponse,
+  kSyncGroupRequest,
+  kSyncGroupResponse,
+  kGroupHeartbeatRequest,
+  kGroupHeartbeatResponse,
+  kLeaveGroupRequest,
+  kLeaveGroupResponse,
 };
 
 enum class ErrorCode : int16_t {
@@ -55,6 +71,12 @@ enum class ErrorCode : int16_t {
   kInvalidRequest,
   kTimedOut,
   kResourceExhausted,  // admission control: retry after a backoff (§14)
+  // --- cluster control plane (DESIGN.md §15) ---
+  kNotController,          // group RPC sent to a non-controller broker
+  kRebalanceInProgress,    // heartbeat during a rebalance: rejoin now
+  kUnknownMember,          // member expired or never joined
+  kIllegalGeneration,      // RPC carries a stale rebalance generation
+  kFencedLeaderEpoch,      // request fenced by a newer partition leader
 };
 
 const char* ErrorCodeName(ErrorCode code);
@@ -256,6 +278,97 @@ struct FetchCommittedOffsetResponse {
   int64_t offset = -1;
 };
 
+// --- cluster control plane (DESIGN.md §15) ---
+
+/// Controller -> broker liveness probe. A response carrying a higher term
+/// deposes the sender; a request carrying a higher term installs the
+/// sender as the receiver's controller.
+struct ControllerHeartbeatRequest {
+  int64_t term = 0;
+  int32_t controller_id = -1;
+};
+
+struct ControllerHeartbeatResponse {
+  ErrorCode error = ErrorCode::kNone;
+  int64_t term = 0;  // receiver's view, so a stale controller steps down
+};
+
+/// Leadership/ISR install, broadcast by the controller to every alive
+/// broker (every broker mirrors the full assignment map so any one of
+/// them can take over as controller). Leaders also send this to the
+/// controller (`from_controller = false`) to report ISR shrink/expand.
+struct LeaderAndIsrRequest {
+  TopicPartitionId tp;
+  int32_t leader_id = -1;
+  uint64_t leader_node = 0;   // net::NodeId of the leader
+  int64_t leader_epoch = 0;
+  bool from_controller = true;
+  std::vector<int32_t> isr;       // includes the leader
+  std::vector<int32_t> replicas;  // includes the leader
+};
+
+struct LeaderAndIsrResponse {
+  ErrorCode error = ErrorCode::kNone;
+};
+
+/// Controller -> ISR member during failover: report log progress so the
+/// controller elects the candidate with the longest log.
+struct LogInfoRequest {
+  TopicPartitionId tp;
+};
+
+struct LogInfoResponse {
+  ErrorCode error = ErrorCode::kNone;
+  int64_t log_end_offset = -1;
+  int64_t high_watermark = -1;
+};
+
+/// Consumer-group membership (join/sync/heartbeat/leave). The coordinator
+/// lives on the controller broker; joins park until the rebalance
+/// generation forms, then sync fetches the member's assignment.
+struct JoinGroupRequest {
+  std::string group;
+  std::string member;
+  std::string topic;  // subscription (one topic per group in this model)
+};
+
+struct JoinGroupResponse {
+  ErrorCode error = ErrorCode::kNone;
+  int64_t generation = 0;
+};
+
+struct SyncGroupRequest {
+  std::string group;
+  std::string member;
+  int64_t generation = 0;
+};
+
+struct SyncGroupResponse {
+  ErrorCode error = ErrorCode::kNone;
+  int64_t generation = 0;
+  std::string topic;
+  std::vector<int32_t> partitions;  // this member's assignment
+};
+
+struct GroupHeartbeatRequest {
+  std::string group;
+  std::string member;
+  int64_t generation = 0;
+};
+
+struct GroupHeartbeatResponse {
+  ErrorCode error = ErrorCode::kNone;
+};
+
+struct LeaveGroupRequest {
+  std::string group;
+  std::string member;
+};
+
+struct LeaveGroupResponse {
+  ErrorCode error = ErrorCode::kNone;
+};
+
 /// A frame is MsgType (u16) followed by the message body.
 MsgType PeekType(Slice frame);
 
@@ -282,6 +395,20 @@ std::vector<uint8_t> Encode(const RdmaCommitAccessRequest& m);
 std::vector<uint8_t> Encode(const RdmaCommitAccessResponse& m);
 std::vector<uint8_t> Encode(const FetchCommittedOffsetRequest& m);
 std::vector<uint8_t> Encode(const FetchCommittedOffsetResponse& m);
+std::vector<uint8_t> Encode(const ControllerHeartbeatRequest& m);
+std::vector<uint8_t> Encode(const ControllerHeartbeatResponse& m);
+std::vector<uint8_t> Encode(const LeaderAndIsrRequest& m);
+std::vector<uint8_t> Encode(const LeaderAndIsrResponse& m);
+std::vector<uint8_t> Encode(const LogInfoRequest& m);
+std::vector<uint8_t> Encode(const LogInfoResponse& m);
+std::vector<uint8_t> Encode(const JoinGroupRequest& m);
+std::vector<uint8_t> Encode(const JoinGroupResponse& m);
+std::vector<uint8_t> Encode(const SyncGroupRequest& m);
+std::vector<uint8_t> Encode(const SyncGroupResponse& m);
+std::vector<uint8_t> Encode(const GroupHeartbeatRequest& m);
+std::vector<uint8_t> Encode(const GroupHeartbeatResponse& m);
+std::vector<uint8_t> Encode(const LeaveGroupRequest& m);
+std::vector<uint8_t> Encode(const LeaveGroupResponse& m);
 
 Status Decode(Slice frame, ProduceRequest* m);
 Status Decode(Slice frame, ProduceResponse* m);
@@ -305,6 +432,20 @@ Status Decode(Slice frame, RdmaCommitAccessRequest* m);
 Status Decode(Slice frame, RdmaCommitAccessResponse* m);
 Status Decode(Slice frame, FetchCommittedOffsetRequest* m);
 Status Decode(Slice frame, FetchCommittedOffsetResponse* m);
+Status Decode(Slice frame, ControllerHeartbeatRequest* m);
+Status Decode(Slice frame, ControllerHeartbeatResponse* m);
+Status Decode(Slice frame, LeaderAndIsrRequest* m);
+Status Decode(Slice frame, LeaderAndIsrResponse* m);
+Status Decode(Slice frame, LogInfoRequest* m);
+Status Decode(Slice frame, LogInfoResponse* m);
+Status Decode(Slice frame, JoinGroupRequest* m);
+Status Decode(Slice frame, JoinGroupResponse* m);
+Status Decode(Slice frame, SyncGroupRequest* m);
+Status Decode(Slice frame, SyncGroupResponse* m);
+Status Decode(Slice frame, GroupHeartbeatRequest* m);
+Status Decode(Slice frame, GroupHeartbeatResponse* m);
+Status Decode(Slice frame, LeaveGroupRequest* m);
+Status Decode(Slice frame, LeaveGroupResponse* m);
 
 // --- pooled variants for the data-path messages ---
 //

@@ -1,6 +1,7 @@
 #include "obs/monitor.h"
 
 #include <cstdlib>
+#include <map>
 #include <sstream>
 
 #include "common/logging.h"
@@ -168,6 +169,59 @@ void InstallStandardWatchers(Monitor& monitor) {
            << active->high_water() << ") > capacity=" << cap->value();
         *detail = os.str();
         return false;
+      });
+
+  monitor.AddWatcher(
+      "cluster.single_leader_per_partition",
+      [](const MetricsRegistry& m, std::string* detail) {
+        // §15 control plane: per-broker leader gauges (kd.broker.<id>.
+        // leader.<tp>) are 1 on the partition's leader and 0 everywhere
+        // else (killed brokers zero theirs on shutdown). Summing across
+        // brokers per partition must never exceed 1 — zero is legal while
+        // an election converges, split-brain is not.
+        std::map<std::string, int64_t> leaders_per_tp;
+        m.ForEachGauge([&](const std::string& name, const Gauge& g) {
+          if (name.rfind("kd.broker.", 0) != 0) return;
+          size_t pos = name.find(".leader.");
+          if (pos == std::string::npos) return;
+          leaders_per_tp[name.substr(pos + 8)] += g.value();
+        });
+        bool ok = true;
+        std::ostringstream os;
+        for (const auto& [tp, count] : leaders_per_tp) {
+          if (count <= 1) continue;
+          if (!ok) os << "; ";
+          ok = false;
+          os << tp << " has " << count << " leaders";
+        }
+        if (!ok) *detail = os.str();
+        return ok;
+      });
+
+  monitor.AddWatcher(
+      "group.offsets_monotonic_across_generations",
+      [](const MetricsRegistry& m, std::string* detail) {
+        // The kd.group.<g>.<tp>.committed.offset gauges are Set() on every
+        // commit, across rebalance generations and leader moves. A value
+        // below its own high-water mark means a post-rebalance consumer
+        // rewound a group's committed offset (duplicate delivery risk).
+        bool ok = true;
+        std::ostringstream os;
+        m.ForEachGauge([&](const std::string& name, const Gauge& g) {
+          if (name.rfind("kd.group.", 0) != 0) return;
+          constexpr size_t kSuffix = 17;  // ".committed.offset"
+          if (name.size() < kSuffix ||
+              name.compare(name.size() - kSuffix, kSuffix,
+                           ".committed.offset") != 0)
+            return;
+          if (g.value() >= g.high_water()) return;
+          if (!ok) os << "; ";
+          ok = false;
+          os << name << "=" << g.value() << " < high_water="
+             << g.high_water();
+        });
+        if (!ok) *detail = os.str();
+        return ok;
       });
 }
 

@@ -98,6 +98,7 @@ QueuePair::QueuePair(Rnic* rnic, std::shared_ptr<CompletionQueue> send_cq,
                      std::shared_ptr<SharedReceiveQueue> srq)
     : rnic_(rnic),
       sim_(rnic->simulator()),
+      cost_(rnic->cost()),
       send_cq_(std::move(send_cq)),
       recv_cq_(std::move(recv_cq)),
       qp_num_(NextQpNum()),
@@ -355,7 +356,7 @@ void QueuePair::CompleteInitiator(const WorkRequest& wr, WcStatus status,
                                   sim::TimeNs when, uint32_t byte_len) {
   auto self = shared_from_this();
   const bool cqe = wr.signaled || status != WcStatus::kSuccess;
-  if (cqe) when += rnic_->cost().rdma.cqe_ns;
+  if (cqe) when += cost_.rdma.cqe_ns;
   sim_.ScheduleAt(when, [self, wr, status, byte_len, cqe]() {
     if (!self->lazy_sq_reclaim_) {
       // Historical behaviour: every completion frees its SQ slot as soon
@@ -391,7 +392,7 @@ void QueuePair::CompleteInitiator(const WorkRequest& wr, WcStatus status,
 
 void QueuePair::CompleteRecv(const WorkCompletion& wc, sim::TimeNs when) {
   auto self = shared_from_this();
-  sim_.ScheduleAt(when + rnic_->cost().rdma.notification_ns, [self, wc]() {
+  sim_.ScheduleAt(when + cost_.rdma.notification_ns, [self, wc]() {
     self->sig_counters_.cqes->Increment();
     self->recv_cq_->Push(wc);
   });

@@ -134,7 +134,9 @@ class QueuePair : public std::enable_shared_from_this<QueuePair> {
   void CompleteRecv(const WorkCompletion& wc, sim::TimeNs when);
 
   Rnic* rnic_;
-  sim::Simulator& sim_;  // safe after the owning Rnic is gone
+  sim::Simulator& sim_;        // safe after the owning Rnic is gone
+  const CostModel& cost_;      // fabric-owned, same lifetime guarantee:
+                               // completion flushes may outlive the Rnic
   std::shared_ptr<CompletionQueue> send_cq_;  // QPs co-own their CQs so
   std::shared_ptr<CompletionQueue> recv_cq_;  // late completions are safe
   QueuePair* peer_ = nullptr;

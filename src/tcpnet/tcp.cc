@@ -116,7 +116,8 @@ sim::Co<StatusOr<net::MessageStreamPtr>> Network::Connect(net::NodeId from,
                                                           net::NodeId to,
                                                           uint16_t port) {
   auto it = listeners_.find(std::make_pair(to, port));
-  if (it == listeners_.end()) {
+  if (it == listeners_.end() || it->second->pending_.closed()) {
+    // RST: no listener, or the listener shut down (crashed broker).
     co_return Status::NotFound("connection refused: no listener");
   }
   const CostModel& cm = cost();
@@ -125,6 +126,10 @@ sim::Co<StatusOr<net::MessageStreamPtr>> Network::Connect(net::NodeId from,
   // SYN / SYN-ACK round trip plus kernel connection setup on both ends.
   co_await sim::Delay(sim_, 2 * cm.link.propagation_ns +
                                 2 * cm.tcp.send_overhead_ns);
+  it = listeners_.find(std::make_pair(to, port));
+  if (it == listeners_.end() || it->second->pending_.closed()) {
+    co_return Status::NotFound("connection refused: listener shut down");
+  }
 
   auto client_side = std::make_shared<TcpSocket>(this, from, to);
   auto server_side = std::make_shared<TcpSocket>(this, to, from);

@@ -103,7 +103,7 @@ TEST(StandardWatchersTest, PassVacuouslyOnEmptyRegistry) {
   MetricsRegistry reg;
   Monitor mon;
   InstallStandardWatchers(mon);
-  EXPECT_EQ(mon.num_watchers(), 6u);
+  EXPECT_EQ(mon.num_watchers(), 8u);
   EXPECT_EQ(mon.CheckNow(reg, 1), 0);
 }
 
@@ -188,6 +188,40 @@ TEST(StandardWatchersTest, AdmissionBounded) {
   reg.GetGauge("kd.broker.admission.active")->Set(512);
   EXPECT_EQ(mon.CheckNow(reg, 2), 1);
   EXPECT_EQ(mon.violations()[0].watcher, "broker.admission_bounded");
+}
+
+TEST(StandardWatchersTest, SingleLeaderPerPartition) {
+  MetricsRegistry reg;
+  Monitor mon;
+  InstallStandardWatchers(mon);
+  reg.GetGauge("kd.broker.0.leader.t.0")->Set(1);
+  reg.GetGauge("kd.broker.1.leader.t.0")->Set(0);
+  reg.GetGauge("kd.broker.1.leader.t.1")->Set(1);
+  EXPECT_EQ(mon.CheckNow(reg, 1), 0);
+  // Zero leaders is legal while an election converges.
+  reg.GetGauge("kd.broker.0.leader.t.0")->Set(0);
+  EXPECT_EQ(mon.CheckNow(reg, 2), 0);
+  // Split-brain: two brokers both claim t.0.
+  reg.GetGauge("kd.broker.0.leader.t.0")->Set(1);
+  reg.GetGauge("kd.broker.1.leader.t.0")->Set(1);
+  EXPECT_EQ(mon.CheckNow(reg, 3), 1);
+  EXPECT_EQ(mon.violations()[0].watcher,
+            "cluster.single_leader_per_partition");
+  EXPECT_NE(mon.violations()[0].detail.find("t.0"), std::string::npos);
+}
+
+TEST(StandardWatchersTest, GroupOffsetsMonotonicAcrossGenerations) {
+  MetricsRegistry reg;
+  Monitor mon;
+  InstallStandardWatchers(mon);
+  reg.GetGauge("kd.group.g1.t.0.committed.offset")->Set(100);
+  reg.GetGauge("kd.group.g1.t.0.committed.offset")->Set(250);
+  EXPECT_EQ(mon.CheckNow(reg, 1), 0);
+  // A rebalanced consumer commits below the previous generation's offset.
+  reg.GetGauge("kd.group.g1.t.0.committed.offset")->Set(200);
+  EXPECT_EQ(mon.CheckNow(reg, 2), 1);
+  EXPECT_EQ(mon.violations()[0].watcher,
+            "group.offsets_monotonic_across_generations");
 }
 
 }  // namespace

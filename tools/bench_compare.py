@@ -1,0 +1,72 @@
+"""Shared machinery for the deterministic-bench JSON gates.
+
+tools/compare_client_scaling.py and tools/compare_failover.py both gate a
+virtual-time-deterministic bench report against a committed baseline with
+the same semantics (established by tools/compare_datapath.py):
+
+  - numeric metrics must match within a relative tolerance, either
+    direction;
+  - a zero-valued baseline metric is an invariant — any nonzero current
+    value fails regardless of tolerance;
+  - key-set drift fails in BOTH directions: a benchmark or metric present
+    in only one report (renamed, dropped, or added without refreshing the
+    baseline) is an error, never silently skipped;
+  - host-speed-dependent metrics (keys starting with "host_") are excluded
+    from gating.
+
+This module holds that machinery once; the per-bench scripts add their own
+invariant checks (memory constancy, exactly-once delivery) on top.
+"""
+
+import json
+
+
+def load(path):
+    """Returns {bench_name: {metric: value}} with host_* keys stripped."""
+    with open(path) as f:
+        report = json.load(f)
+    rows = {}
+    for entry in report.get("benchmarks", []):
+        name = entry["name"]
+        rows[name] = {k: v for k, v in entry.items()
+                      if k != "name" and isinstance(v, (int, float))
+                      and not isinstance(v, bool)
+                      and not k.startswith("host_")}
+    return rows
+
+
+def diff(base, cur, tolerance, baseline_name):
+    """Per-metric comparison; returns (failures, missing, unexpected).
+
+    Prints one line per compared metric. `missing`/`unexpected` are
+    benchmark names present in only one report; metric-level drift within
+    a shared benchmark lands in `failures`.
+    """
+    failures = []
+    missing = sorted(set(base) - set(cur))
+    unexpected = sorted(set(cur) - set(base))
+    for name in sorted(base):
+        if name not in cur:
+            continue
+        for key in sorted(set(cur[name]) - set(base[name])):
+            failures.append(
+                f"{name}: metric '{key}' not in baseline (refresh "
+                f"{baseline_name})")
+        for key, bval in sorted(base[name].items()):
+            if key not in cur[name]:
+                failures.append(f"{name}: metric '{key}' missing")
+                continue
+            cval = cur[name][key]
+            if bval == 0:
+                ok = cval == 0
+                delta = "" if ok else f" (now {cval})"
+            else:
+                rel = cval / bval - 1.0
+                ok = abs(rel) <= tolerance
+                delta = f" ({rel:+.1%})"
+            status = "ok" if ok else "DEVIATED"
+            print(f"{name:32} {key:22} {bval:14.3f} -> {cval:14.3f}"
+                  f"{delta:12} {status}")
+            if not ok:
+                failures.append(f"{name}/{key}: {bval} -> {cval}")
+    return failures, missing, unexpected

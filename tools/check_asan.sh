@@ -7,7 +7,10 @@
 # aliasing bug would hide. The §14 churn suite rides along: QP
 # connect/disconnect cycles, LRU eviction with transparent reconnect, and
 # eviction racing in-flight acks are the paths most likely to leak a
-# coroutine frame or touch a freed transport.
+# coroutine frame or touch a freed transport. The §15 failover suite rides
+# along: broker kills mid-traffic, controller re-election, group-rebalance
+# storms — teardown-heavy scenarios where a parked coroutine frame
+# (purgatory waiter, ack reader) would leak if shutdown missed a wakeup.
 #
 # Usage: tools/check_asan.sh
 set -euo pipefail
@@ -16,7 +19,7 @@ ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD_DIR="$ROOT/build-asan"
 
 cmake --preset asan -S "$ROOT" >/dev/null
-cmake --build "$BUILD_DIR" -j"$(nproc)" --target common_test sim_test sharded_test obs_test churn_test
+cmake --build "$BUILD_DIR" -j"$(nproc)" --target common_test sim_test sharded_test obs_test churn_test failover_test
 
 # No LSAN_OPTIONS / suppression file: deployment teardown is now
 # coroutine-aware (Cluster::Shutdown walks brokers -> QPs/sockets ->
@@ -30,5 +33,6 @@ export UBSAN_OPTIONS=print_stacktrace=1:halt_on_error=1
 "$BUILD_DIR/tests/sharded_test"
 "$BUILD_DIR/tests/obs_test"
 "$BUILD_DIR/tests/churn_test"
+"$BUILD_DIR/tests/failover_test"
 
-echo "asan/ubsan: all common + sim + sharded + obs + churn tests passed"
+echo "asan/ubsan: all common + sim + sharded + obs + churn + failover tests passed"

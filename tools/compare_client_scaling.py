@@ -1,18 +1,16 @@
 #!/usr/bin/env python3
 """Compare a tbl_client_scaling JSON report against the baseline.
 
-Semantics follow tools/compare_datapath.py: the bench is deterministic in
-virtual time, so sim-derived metrics must match the committed baseline
-within --tolerance (default 10%, relative, either direction). Zero-valued
+Semantics follow tools/compare_datapath.py via the shared
+tools/bench_compare.py machinery: the bench is deterministic in virtual
+time, so sim-derived metrics must match the committed baseline within
+--tolerance (default 10%, relative, either direction). Zero-valued
 baselines (e.g. `rejected`) are invariants — any nonzero current value
 fails regardless of tolerance. Key-set drift fails in BOTH directions: a
 benchmark or metric present in only one report (renamed, dropped, or
 added without refreshing BENCH_client_scaling.baseline.json) is an error,
-never silently skipped.
-
-Host-speed-dependent metrics (any key starting with "host_") are excluded
-from gating: they exist in the JSON for eyeballing, but vary with the
-machine running the gate.
+never silently skipped. Host-speed-dependent metrics (any key starting
+with "host_") are excluded from gating.
 
 On top of the per-metric diff, two memory-constancy group checks encode
 the §14 scaling claims directly (so a baseline refresh cannot silently
@@ -27,21 +25,9 @@ Usage: tools/compare_client_scaling.py BASELINE CURRENT [--tolerance 0.10]
 """
 
 import argparse
-import json
 import sys
 
-
-def load(path):
-    with open(path) as f:
-        report = json.load(f)
-    rows = {}
-    for entry in report.get("benchmarks", []):
-        name = entry["name"]
-        rows[name] = {k: v for k, v in entry.items()
-                      if k != "name" and isinstance(v, (int, float))
-                      and not isinstance(v, bool)
-                      and not k.startswith("host_")}
-    return rows
+import bench_compare
 
 
 def constancy_failures(rows):
@@ -77,37 +63,11 @@ def main():
                              "(default 0.10)")
     args = parser.parse_args()
 
-    base = load(args.baseline)
-    cur = load(args.current)
+    base = bench_compare.load(args.baseline)
+    cur = bench_compare.load(args.current)
 
-    failures = []
-    missing = sorted(set(base) - set(cur))
-    unexpected = sorted(set(cur) - set(base))
-    for name in sorted(base):
-        if name not in cur:
-            continue
-        for key in sorted(set(cur[name]) - set(base[name])):
-            failures.append(
-                f"{name}: metric '{key}' not in baseline (refresh "
-                f"BENCH_client_scaling.baseline.json)")
-        for key, bval in sorted(base[name].items()):
-            if key not in cur[name]:
-                failures.append(f"{name}: metric '{key}' missing")
-                continue
-            cval = cur[name][key]
-            if bval == 0:
-                ok = cval == 0
-                delta = "" if ok else f" (now {cval})"
-            else:
-                rel = cval / bval - 1.0
-                ok = abs(rel) <= args.tolerance
-                delta = f" ({rel:+.1%})"
-            status = "ok" if ok else "DEVIATED"
-            print(f"{name:32} {key:22} {bval:14.3f} -> {cval:14.3f}"
-                  f"{delta:12} {status}")
-            if not ok:
-                failures.append(f"{name}/{key}: {bval} -> {cval}")
-
+    failures, missing, unexpected = bench_compare.diff(
+        base, cur, args.tolerance, "BENCH_client_scaling.baseline.json")
     failures.extend(constancy_failures(cur))
 
     if missing:

@@ -14,6 +14,10 @@
 #      BENCH_client_scaling.baseline.json — fails on deviation, key-set
 #      drift, or a memory-constancy violation
 #      (tools/compare_client_scaling.py).
+#   3b''. Failover gate: bench/tbl_failover (leader kill mid-traffic, §15;
+#      deterministic virtual-time metrics) vs BENCH_failover.baseline.json —
+#      fails on deviation, key-set drift, or an exactly-once violation
+#      (tools/compare_failover.py).
 #   3c. Live-monitor exercise: bench/tbl_slo_tenants runs with the invariant
 #      monitor ticking in --strict mode (any watcher violation aborts the
 #      bench and thus the gate), then tools/obs_report.py diffs its
@@ -56,6 +60,11 @@ if [[ "$FAST" == 0 ]]; then
   python3 "$ROOT/tools/compare_client_scaling.py" \
     "$ROOT/BENCH_client_scaling.baseline.json" \
     "$ROOT/BENCH_client_scaling.json" --tolerance 0.10
+  "$BUILD_DIR/bench/tbl_failover" \
+    --json="$ROOT/BENCH_failover.json" >/dev/null
+  python3 "$ROOT/tools/compare_failover.py" \
+    "$ROOT/BENCH_failover.baseline.json" \
+    "$ROOT/BENCH_failover.json" --tolerance 0.10
   "$BUILD_DIR/bench/tbl_slo_tenants" --strict --monitor_period=100000 \
     --metrics_json="$ROOT/BENCH_slo.json" >/dev/null
   python3 "$ROOT/tools/obs_report.py" "$ROOT/BENCH_slo.baseline.json" \
