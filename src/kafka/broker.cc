@@ -564,7 +564,10 @@ sim::Co<void> Broker::StoreCommittedOffset(PartitionState* ps,
   // exactly-once from the surviving replica.
   if (config_.cp_replicate_commits && ps->is_leader && cp_ != nullptr) {
     std::vector<uint8_t> frame = Encode(creq);
-    for (int32_t r : ps->isr) {
+    // Snapshot: ApplyLeaderAndIsr may reassign ps->isr while PeerRpc is
+    // suspended, which would invalidate iterators into the live vector.
+    const std::vector<int32_t> isr = ps->isr;
+    for (int32_t r : isr) {
       if (r == config_.id) continue;
       (void)co_await cp_->PeerRpc(r, frame);  // best effort: dead follower
                                               // is on its way out of the ISR
@@ -624,17 +627,20 @@ int32_t Broker::MetadataLeaderOf(const TopicPartitionId& tp) const {
 }
 
 void Broker::ApplyLeaderAndIsr(const LeaderAndIsrRequest& req) {
+  PartitionState* ps = GetPartition(req.tp);
+  if (ps != nullptr && req.leader_epoch < ps->leader_epoch) {
+    return;  // fenced: stale install must not touch state or metadata
+  }
   // Mirror into client-facing metadata so MetadataRequest (and the
   // cluster's dynamic leader lookup) see the move even on brokers not
-  // hosting the partition.
+  // hosting the partition. Runs after the epoch fence so a deposed
+  // controller's late broadcast can't rewind routing to a dead leader.
   auto mit = topic_metadata_.find(req.tp.topic);
   if (mit != topic_metadata_.end() && req.tp.partition >= 0 &&
       req.tp.partition < static_cast<int32_t>(mit->second.size())) {
     mit->second[req.tp.partition] = req.leader_id;
   }
-  PartitionState* ps = GetPartition(req.tp);
   if (ps == nullptr) return;
-  if (req.leader_epoch < ps->leader_epoch) return;  // fenced: stale install
   const bool was_leader = ps->is_leader;
   const int32_t old_leader = ps->leader_id;
   const bool now_leader = (req.leader_id == config_.id);

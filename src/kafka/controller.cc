@@ -201,6 +201,10 @@ void ControlPlane::StepDown(int64_t new_term, int32_t new_controller) {
     groups_->Reset();
   }
   term_gauge_->Set(term_);
+  // The watchdog skipped while we were controller, so last_heartbeat_ns_ is
+  // stale; without a refresh the very next tick would reclaim term+1 and
+  // depose the legitimate controller (election flapping).
+  last_heartbeat_ns_ = sim_.Now();
 }
 
 sim::Co<void> ControlPlane::WatchdogLoop() {

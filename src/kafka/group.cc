@@ -184,6 +184,14 @@ sim::Co<void> GroupCoordinator::HandleJoin(Broker::Request req) {
     co_return;
   }
   GroupPtr g = GetOrCreate(jreq.group, jreq.topic);
+  if (g->topic != jreq.topic) {
+    // An existing group is bound to one topic; silently assigning another
+    // topic's partitions would hand the member the wrong data.
+    JoinGroupResponse resp;
+    resp.error = ErrorCode::kInvalidRequest;
+    broker_.SendResponse(req.conn, Encode(resp));
+    co_return;
+  }
   if (g->phase != GroupState::kPreparing) StartRebalance(g);
   MemberState& m = g->members[jreq.member];
   m.pending_join = true;
